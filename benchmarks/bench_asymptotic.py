@@ -1,0 +1,89 @@
+"""E11: the Section 4.1 asymptotic analysis.
+
+"Table 4.1c includes the MVA results for 100 processors, to verify that
+the performance does not change appreciably beyond twenty processors"
+and "the asymptotic results indicate a greater potential gain for
+modification 4 than was evident from previous results for ten
+processors".
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import once  # noqa: E402
+
+from repro.core.model import CacheMVAModel
+from repro.core.sensitivity import asymptotic_speedup
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+
+def test_saturation_beyond_twenty(benchmark, emit):
+    def saturation_gaps():
+        gaps = {}
+        for mods in [(), (1,), (1, 4)]:
+            for level in SharingLevel:
+                model = CacheMVAModel(appendix_a_workload(level),
+                                      ProtocolSpec.of(*mods))
+                s20, s100 = model.speedup(20), model.speedup(100)
+                gaps[(mods, level)] = abs(s100 - s20) / s20
+        return gaps
+
+    gaps = once(benchmark, saturation_gaps)
+    worst = max(gaps.values())
+    emit("asymptotic.txt",
+         f"E11 max |speedup(100) - speedup(20)| / speedup(20) over the "
+         f"nine Table-4.1 curves: {worst:.2%}\n")
+    assert worst < 0.03
+
+
+def test_mod4_asymptotic_gain(benchmark, emit):
+    """The mod-4 gain at the asymptote exceeds its gain at N = 10, and
+    grows with the sharing level."""
+
+    def gains():
+        rows = []
+        for level in SharingLevel:
+            w = appendix_a_workload(level)
+            at10 = (CacheMVAModel(w, ProtocolSpec.of(1, 4)).speedup(10)
+                    / CacheMVAModel(w, ProtocolSpec.of(1)).speedup(10))
+            at_limit = (asymptotic_speedup(w, ProtocolSpec.of(1, 4))
+                        / asymptotic_speedup(w, ProtocolSpec.of(1)))
+            rows.append((level, at10 - 1.0, at_limit - 1.0))
+        return rows
+
+    rows = once(benchmark, gains)
+    lines = ["E11 modification-4 gain over modification 1:"]
+    for level, g10, ginf in rows:
+        lines.append(f"  {level.label:>4}: +{g10:.1%} at N=10, "
+                     f"+{ginf:.1%} asymptotically")
+        assert ginf >= g10 - 1e-9, level
+    emit("asymptotic.txt", "\n".join(lines) + "\n")
+    # Gain grows with sharing (both at 10 and at the limit).
+    asym = [ginf for _, _, ginf in rows]
+    assert asym[0] <= asym[1] <= asym[2]
+    assert asym[2] > 0.2
+
+
+def test_asymptote_equals_bus_bound(benchmark, emit):
+    """At saturation the speedup is the bus-capacity bound: speedup ->
+    (tau + T_supply) / (bus time per request).  Checks the MVA's limit
+    against that closed form."""
+    w = appendix_a_workload(SharingLevel.FIVE_PERCENT)
+    model = CacheMVAModel(w)
+
+    def compute():
+        report = model.solve(100_000)
+        inp = model.inputs
+        bus_per_request = (inp.p_bc * (report.w_mem + inp.t_bc)
+                           + inp.p_rr * inp.t_read)
+        bound = (w.tau + 1.0) / bus_per_request
+        return report.speedup, bound
+
+    speedup, bound = once(benchmark, compute)
+    emit("asymptotic.txt",
+         f"E11 bus-capacity bound check: MVA limit {speedup:.3f} vs "
+         f"closed-form bound {bound:.3f}\n")
+    assert abs(speedup - bound) / bound < 0.02

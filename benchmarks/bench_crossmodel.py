@@ -1,0 +1,87 @@
+"""X5 (extension): three-comparator cross-validation.
+
+Solves the same points with the MVA, the discrete-event simulator and
+the exact Petri-net chain (exponential and Erlang-sharpened service).
+Mutual agreement across four independent solution techniques is the
+strongest internal-validity statement the reproduction makes.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import once  # noqa: E402
+
+from repro.analysis.crossmodel import cross_model_table, cross_validate
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+
+def test_cross_validation_write_once(benchmark, emit):
+    cells = once(benchmark, lambda: cross_validate(
+        appendix_a_workload(SharingLevel.FIVE_PERCENT)))
+    emit("crossmodel.txt", cross_model_table(cells).render())
+    for cell in cells:
+        # All four techniques within a 7 % envelope at these sizes.
+        assert cell.spread < 0.07, cell
+        # The Erlang-sharpened net sits between the exponential net and
+        # the deterministic-time world (DES/MVA): it must not be further
+        # from the DES than the exponential net is.
+        gap_sharp = abs(cell.gtpn_erlang - cell.des)
+        gap_expo = abs(cell.gtpn_exponential - cell.des)
+        assert gap_sharp <= gap_expo + 0.02
+
+
+def test_deterministic_chain_fidelity_ladder(benchmark, emit):
+    """X5b: on an integer-time workload, the full fidelity ladder --
+    exponential chain < MVA < deterministic-time chain ~ DES -- with the
+    state-space cost of each rung."""
+    from repro.gtpn import (
+        solve_coherence_speedup,
+        solve_discrete_coherence_speedup,
+    )
+    from repro.core.model import CacheMVAModel
+    from repro.sim.config import SimulationConfig
+    from repro.sim.system import simulate
+    from repro.workload.derived import derive_inputs
+
+    w = appendix_a_workload(SharingLevel.FIVE_PERCENT).replace(
+        csupply_sro=0.0, csupply_sw=0.0, wb_csupply=0.0,
+        rep_p=0.0, rep_sw=0.0)
+    inputs = derive_inputs(w)
+    mva_model = CacheMVAModel(w)
+
+    def run():
+        rows = []
+        for n in (1, 2, 3):
+            det, det_states = solve_discrete_coherence_speedup(n, inputs)
+            expo = solve_coherence_speedup(n, inputs)
+            sim = simulate(SimulationConfig(
+                n_processors=n, workload=w, seed=3,
+                warmup_requests=4_000, measured_requests=50_000))
+            rows.append((n, det, det_states, expo.speedup, expo.n_states,
+                         sim.speedup, mva_model.speedup(n)))
+        return rows
+
+    rows = once(benchmark, run)
+    lines = ["X5b deterministic-time chain (the true GTPN semantics):",
+             "   N  det-chain(st)   expo-chain(st)      DES      MVA"]
+    for n, det, dst, expo, est, sim, mva in rows:
+        lines.append(f"  {n:>2}  {det:7.4f}({dst:>3})  {expo:7.4f}({est:>3})"
+                     f"  {sim:7.4f}  {mva:7.4f}")
+        # Deterministic chain is the closest model to the DES.
+        assert abs(det - sim) <= abs(expo - sim) + 1e-9, n
+        assert abs(det - sim) / sim < 0.02, n
+        # And clocks-in-state cost more states than memorylessness.
+        assert dst > est, n
+    emit("crossmodel.txt", "\n".join(lines) + "\n")
+
+
+def test_cross_validation_dragon(benchmark, emit):
+    cells = once(benchmark, lambda: cross_validate(
+        appendix_a_workload(SharingLevel.FIVE_PERCENT),
+        ProtocolSpec.of(1, 2, 3, 4), sizes=(2, 4)))
+    emit("crossmodel.txt", cross_model_table(cells).render())
+    for cell in cells:
+        assert cell.spread < 0.07, cell

@@ -1,0 +1,124 @@
+"""X2 (extension): hierarchical-bus scaling study.
+
+The paper's conclusion points at Wilson's hierarchical cache/bus
+architecture as the natural next application of the customized-MVA
+approach.  This bench runs that study: cluster-count sweeps against the
+flat single-bus ceiling, locality/cluster-cache sensitivity, and the
+cost of non-split (held) global transactions.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import once  # noqa: E402
+
+from repro.core.model import CacheMVAModel
+from repro.hierarchy import HierarchicalMVAModel, HierarchyParams
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+W5 = appendix_a_workload(SharingLevel.FIVE_PERCENT)
+
+
+def test_cluster_scaling_vs_flat(benchmark, emit):
+    def run():
+        flat_limit = CacheMVAModel(W5).speedup(128)
+        rows = []
+        for clusters in (1, 2, 4, 8, 16, 32):
+            report = HierarchicalMVAModel(W5, HierarchyParams(
+                clusters=clusters, per_cluster=8, cluster_locality=0.9,
+                cluster_cache_hit=0.8)).solve()
+            rows.append((clusters, report))
+        return flat_limit, rows
+
+    flat_limit, rows = once(benchmark, run)
+    lines = [f"X2 cluster scaling (K=8, locality 0.9, cluster cache 0.8); "
+             f"flat single-bus limit = {flat_limit:.2f}:"]
+    for clusters, report in rows:
+        lines.append(
+            f"  C={clusters:>2} (N={report.n_processors:>3}): speedup "
+            f"{report.speedup:7.2f}, U_local {report.u_local_bus:.2f}, "
+            f"U_global {report.u_global_bus:.2f}")
+    emit("hierarchy.txt", "\n".join(lines) + "\n")
+    speedups = [r.speedup for _, r in rows]
+    # Monotone up to numerical wiggle at the saturated tail (<0.1 %).
+    for earlier, later in zip(speedups, speedups[1:]):
+        assert later >= earlier * 0.999
+    assert speedups[-1] > 1.5 * flat_limit  # the ceiling breaks
+    # The new ceiling is the global bus.
+    assert rows[-1][1].u_global_bus > 0.95
+
+
+def test_locality_and_cluster_cache_sensitivity(benchmark, emit):
+    def run():
+        grid = {}
+        for theta in (0.5, 0.9):
+            for hit in (0.0, 0.8):
+                report = HierarchicalMVAModel(W5, HierarchyParams(
+                    clusters=8, per_cluster=8, cluster_locality=theta,
+                    cluster_cache_hit=hit)).solve()
+                grid[(theta, hit)] = report.speedup
+        return grid
+
+    grid = once(benchmark, run)
+    lines = ["X2 sensitivity (C=8, K=8): speedup by "
+             "(locality, cluster-cache hit):"]
+    for (theta, hit), speedup in grid.items():
+        lines.append(f"  theta={theta}, hit={hit}: {speedup:7.2f}")
+    emit("hierarchy.txt", "\n".join(lines) + "\n")
+    assert grid[(0.9, 0.8)] > grid[(0.5, 0.8)] > grid[(0.5, 0.0)]
+
+
+def test_split_transaction_ablation(benchmark, emit):
+    def run():
+        out = {}
+        for split in (True, False):
+            out[split] = HierarchicalMVAModel(W5, HierarchyParams(
+                clusters=4, per_cluster=8, split_transactions=split)).speedup()
+        return out
+
+    out = once(benchmark, run)
+    emit("hierarchy.txt",
+         f"X2 split-transaction ablation (C=4, K=8): split {out[True]:.2f} "
+         f"vs held {out[False]:.2f}\n")
+    assert out[True] > out[False]
+
+
+def test_hierarchy_mva_vs_detailed(benchmark, emit):
+    """Section-4.2-style validation of the extension: the hierarchical
+    MVA against the hierarchical discrete-event simulator."""
+    from repro.sim.hierarchical import HierarchicalSimConfig, simulate_hierarchy
+
+    def run():
+        cells = []
+        for clusters, k in ((1, 6), (2, 4), (4, 8), (8, 8)):
+            params = HierarchyParams(clusters=clusters, per_cluster=k,
+                                     cluster_locality=0.9,
+                                     cluster_cache_hit=0.8)
+            sim = simulate_hierarchy(HierarchicalSimConfig(
+                hierarchy=params, workload=W5, seed=55,
+                warmup_requests=4_000, measured_requests=50_000))
+            mva = HierarchicalMVAModel(W5, params).solve()
+            cells.append((params, mva, sim))
+        return cells
+
+    cells = once(benchmark, run)
+    lines = ["X2 hierarchical MVA vs hierarchical DES:"]
+    for params, mva, sim in cells:
+        err = (mva.speedup - sim.speedup) / sim.speedup
+        lines.append(
+            f"  C={params.clusters} K={params.per_cluster}: "
+            f"MVA {mva.speedup:7.3f} vs DES {sim.speedup:7.3f} "
+            f"({err:+.2%}); U_global {mva.u_global_bus:.3f} vs "
+            f"{sim.u_global_bus:.3f}")
+        assert abs(err) < 0.08, (params, mva.speedup, sim.speedup)
+    emit("hierarchy.txt", "\n".join(lines) + "\n")
+
+
+def test_hierarchy_solve_speed(benchmark):
+    """The MVA's interactivity survives the extension."""
+    model = HierarchicalMVAModel(W5, HierarchyParams(
+        clusters=16, per_cluster=16))
+    report = benchmark(model.solve)
+    assert report.converged

@@ -1,0 +1,104 @@
+"""X1 (extension): the N-dependent sharing refinement.
+
+The paper's Section 2.3 says its workload submodel "should be improved
+to treat the shared references more similarly to the model in [GrMi87]"
+but predicts that "this should not change the conclusions of this paper
+with regard to the relative accuracy of the mean value model".  This
+bench implements the improvement (per-cache residency -> csupply(N))
+and tests both halves of that sentence:
+
+* the refinement changes *absolute* speedups away from the calibration
+  size (small systems look better, csupply -> 1 asymptotically);
+* the refined MVA still agrees with the refined detailed simulation to
+  the same few-percent band, and the protocol ordering is unchanged.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import once  # noqa: E402
+
+from repro.core.model import CacheMVAModel
+from repro.core.scaled import ScaledSharingMVAModel
+from repro.protocols.modifications import ProtocolSpec
+from repro.sim.config import SimulationConfig
+from repro.sim.system import simulate
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+W20 = appendix_a_workload(SharingLevel.TWENTY_PERCENT)
+SIZES = (1, 2, 4, 6, 10, 20, 100)
+
+
+def test_scaled_vs_fixed_curves(benchmark, emit):
+    def run():
+        fixed = CacheMVAModel(W20)
+        scaled = ScaledSharingMVAModel(W20, reference_size=10)
+        return ([fixed.speedup(n) for n in SIZES],
+                [scaled.speedup(n) for n in SIZES])
+
+    fixed, scaled = once(benchmark, run)
+    lines = ["X1 Write-Once at 20% sharing, fixed vs N-scaled csupply:",
+             "   N: " + " ".join(f"{n:>7}" for n in SIZES),
+             "  fix: " + " ".join(f"{s:7.3f}" for s in fixed),
+             " scal: " + " ".join(f"{s:7.3f}" for s in scaled)]
+    emit("sharing_scaling.txt", "\n".join(lines) + "\n")
+    # Calibration fixed point at N = 10.
+    k10 = SIZES.index(10)
+    assert abs(scaled[k10] - fixed[k10]) / fixed[k10] < 0.01
+    # Small systems benefit (fewer suppliers to write back / snoop).
+    assert scaled[1] >= fixed[1] - 1e-9
+    assert scaled[2] > fixed[2]
+    # Large systems: csupply saturates at 1 -> slightly worse than fixed.
+    assert scaled[-1] < fixed[-1] * 1.01
+
+
+def test_refined_model_still_agrees_with_detailed(benchmark, emit):
+    """The paper's prediction: the refinement does not change the
+    relative accuracy of the mean-value technique."""
+    scaled = ScaledSharingMVAModel(W20, reference_size=10)
+
+    def run():
+        cells = []
+        for n in (2, 6, 10):
+            model = scaled.model_for(n)
+            mva = model.solve(n).speedup
+            sim = simulate(SimulationConfig(
+                n_processors=n,
+                workload=model.workload,
+                seed=777 + n,
+                warmup_requests=4_000,
+                measured_requests=50_000,
+                apply_overrides=False,
+                holder_probability=model.inputs.holder_probability,
+            )).speedup
+            cells.append((n, mva, sim))
+        return cells
+
+    cells = once(benchmark, run)
+    lines = ["X1 refined MVA vs refined detailed model (20% sharing):"]
+    for n, mva, sim in cells:
+        err = (mva - sim) / sim
+        lines.append(f"  N={n:>2}: MVA {mva:.3f} vs DES {sim:.3f} "
+                     f"({err:+.2%})")
+        assert abs(err) < 0.06, (n, mva, sim)
+    emit("sharing_scaling.txt", "\n".join(lines) + "\n")
+
+
+def test_conclusions_unchanged(benchmark, emit):
+    """Protocol ordering and the mod-4 story survive the refinement."""
+
+    def run():
+        out = {}
+        for mods in [(), (1,), (1, 4)]:
+            model = ScaledSharingMVAModel(W20, ProtocolSpec.of(*mods))
+            out[mods] = model.speedup(20)
+        return out
+
+    speeds = once(benchmark, run)
+    emit("sharing_scaling.txt",
+         "X1 ordering under refinement (N=20, 20% sharing): " +
+         ", ".join(f"{ProtocolSpec.of(*m).label}={s:.3f}"
+                   for m, s in speeds.items()) + "\n")
+    assert speeds[()] < speeds[(1,)] < speeds[(1, 4)]

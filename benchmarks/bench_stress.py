@@ -1,0 +1,66 @@
+"""E6: the Section 4.3 stress test -- unrealistic parameters chosen to
+break the MVA's cache-interference approximations.
+
+"we set the values of rep_p, rep_sw, and amod_sw to 0.0, csupply_sro
+and csupply_sw to 1.0, p_sw to 0.2, and hit_sw to 0.1.  The speedup
+estimates of the MVA model agreed, within 5% relative error, with the
+speedup estimates in the GTPN ... It appears that the MVA model is
+quite robust."
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import once  # noqa: E402
+
+from repro.analysis.comparison import agreement_table, compare_mva_and_simulation
+from repro.core.model import CacheMVAModel
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.parameters import appendix_a_workload, stress_test_workload
+from repro.workload.parameters import SharingLevel
+
+SIZES = (1, 2, 4, 6, 8, 10)
+
+
+def test_stress_agreement(benchmark, emit):
+    workload = stress_test_workload()
+    study = once(benchmark, lambda: compare_mva_and_simulation(
+        workload, ProtocolSpec(), SIZES, measured_requests=60_000))
+    emit("stress.txt", agreement_table(study).render())
+    emit("stress.txt",
+         f"max |rel err| = {study.max_abs_error:.2%} "
+         "(paper: within 5% on its stress tests)\n")
+    assert study.max_abs_error < 0.06
+
+
+def test_stress_has_heavy_interference(benchmark, emit):
+    """The point of the parameters: lots of shared misses with certain
+    cache supply means the cache-interference terms dominate."""
+    def interference():
+        stress = CacheMVAModel(stress_test_workload()).system(10).interference
+        normal = CacheMVAModel(
+            appendix_a_workload(SharingLevel.FIVE_PERCENT)
+        ).system(10).interference
+        return stress, normal
+
+    stress, normal = once(benchmark, interference)
+    emit("stress.txt",
+         f"cache interference p: stress {stress.p:.4f} vs Appendix-A "
+         f"{normal.p:.4f}; t_interference {stress.t_interference:.2f} vs "
+         f"{normal.t_interference:.2f}\n")
+    assert stress.p > 4 * normal.p
+    assert stress.t_interference > normal.t_interference
+
+
+def test_stress_solver_still_converges(benchmark):
+    """Robustness: the fixed point stays well-behaved on the stress
+    workload for large systems too."""
+    model = CacheMVAModel(stress_test_workload())
+
+    def solve_ladder():
+        return [model.solve(n) for n in (10, 100, 1000)]
+
+    reports = benchmark(solve_ladder)
+    assert all(r.converged for r in reports)

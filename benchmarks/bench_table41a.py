@@ -1,0 +1,25 @@
+"""E1: Table 4.1(a) -- speedups for the Write-Once protocol.
+
+Regenerates the table (our MVA + our detailed simulator next to the
+published MVA/GTPN rows) and benchmarks the 27-cell MVA solve.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _table41_common import mva_row_solver, regenerate_part  # noqa: E402
+from conftest import once  # noqa: E402
+
+
+def test_table41a_regeneration(benchmark, emit):
+    table = once(benchmark, lambda: regenerate_part("a"))
+    emit("table41a.txt", table.render())
+
+
+def test_table41a_mva_solve_speed(benchmark):
+    """The paper's efficiency claim: all 27 cells in well under a second."""
+    speedups = benchmark(mva_row_solver("a"))
+    assert len(speedups) == 27
+    assert all(s > 0.0 for s in speedups)

@@ -1,0 +1,37 @@
+"""E3: Table 4.1(c) -- speedups for enhancements 1 and 4 (write broadcast
+with exclusive-on-miss, h_sw = 0.95)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _table41_common import mva_row_solver, regenerate_part  # noqa: E402
+from conftest import once  # noqa: E402
+
+
+def test_table41c_regeneration(benchmark, emit):
+    table = once(benchmark, lambda: regenerate_part("c"))
+    emit("table41c.txt", table.render())
+
+
+def test_table41c_mva_solve_speed(benchmark):
+    speedups = benchmark(mva_row_solver("c"))
+    assert len(speedups) == 27
+
+
+def test_table41c_sharing_insensitivity(benchmark, emit):
+    """Table 4.1(c)'s signature: with updates instead of invalidations the
+    three sharing levels give nearly identical curves (the paper draws
+    only the 5 % one in Figure 4.1)."""
+    from repro.analysis.experiments import PAPER_SIZES, reproduce_table_41
+    from repro.workload.parameters import SharingLevel
+
+    results = once(benchmark, lambda: reproduce_table_41("c"))
+    lines = ["Spread across sharing levels (max-min)/max per size:"]
+    for k, n in enumerate(PAPER_SIZES):
+        values = [results[level][k] for level in SharingLevel]
+        spread = (max(values) - min(values)) / max(values)
+        assert spread < 0.12, (n, values)
+        lines.append(f"  N={n:>3}: {spread:.2%}")
+    emit("table41c.txt", "\n".join(lines) + "\n")

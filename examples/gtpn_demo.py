@@ -1,0 +1,60 @@
+"""GTPN demo: why the paper needed the MVA in the first place.
+
+Run:  python examples/gtpn_demo.py
+
+Solves the reduced coherence Petri net *exactly* (reachability graph +
+embedded Markov chain) for growing N and Erlang stage counts, printing
+the state-space size next to the solve time.  The growth curve is the
+Section 3.2 story in miniature: the detailed model's cost explodes with
+system size while the MVA stays O(1).
+"""
+
+import time
+
+from repro import CacheMVAModel, SharingLevel, appendix_a_workload, derive_inputs
+from repro.gtpn import solve_coherence_speedup
+from repro.gtpn.reachability import StateSpaceExplosion
+
+
+def main() -> None:
+    workload = appendix_a_workload(SharingLevel.FIVE_PERCENT)
+    inputs = derive_inputs(workload)
+    mva_model = CacheMVAModel(workload)
+
+    print("=== exact Markov solution of the coherence net vs the MVA ===")
+    print(f"{'N':>3} {'erlang':>7} {'states':>8} {'solve':>9} "
+          f"{'GTPN speedup':>13} {'MVA speedup':>12}")
+    for n in (1, 2, 3, 4, 5, 6):
+        for erlang in (1, 3):
+            started = time.perf_counter()
+            try:
+                sol = solve_coherence_speedup(n, inputs, erlang=erlang,
+                                              max_states=60_000)
+            except StateSpaceExplosion:
+                print(f"{n:>3} {erlang:>7} {'>60000':>8}   -- state-space "
+                      "explosion, as the paper warned --")
+                continue
+            elapsed = time.perf_counter() - started
+            mva = mva_model.speedup(n)
+            print(f"{n:>3} {erlang:>7} {sol.n_states:>8} "
+                  f"{elapsed * 1e3:>7.1f}ms {sol.speedup:>13.3f} "
+                  f"{mva:>12.3f}")
+    print("\n=== adding fidelity multiplies the cost ===")
+    print(f"{'N':>3} {'reduced states':>15} {'detailed states':>16} "
+          f"{'detailed speedup':>17}")
+    for n in (1, 2, 3, 4):
+        reduced = solve_coherence_speedup(n, inputs)
+        detailed = solve_coherence_speedup(n, inputs, detailed=True)
+        print(f"{n:>3} {reduced.n_states:>15} {detailed.n_states:>16} "
+              f"{detailed.speedup:>17.3f}")
+    print("\n(the detailed net adds memory-module contention and remote-"
+          "read branch\nvariance -- ~10x the states for the same N)")
+
+    print("\nMVA solve time is flat in N; the exact state space (and the "
+          "true\ndeterministic-time GTPN even more so) grows without bound. "
+          "That gap --\nhours versus seconds in 1988 -- is the paper's "
+          "motivation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Calibrate the MVA from a measured (synthetic) address trace.
+
+Run:  python examples/trace_calibration.py
+
+The paper's conclusion: "The model can be put to good use for
+evaluating the protocols more thoroughly -- all that is needed are
+workload measurement studies to aid in the assignment of parameter
+values."  This example is that study, end to end:
+
+1. generate a synthetic multiprocessor address trace (private / shared
+   read-only / shared-writable regions with hot-set locality);
+2. replay it through an LRU set-associative multi-cache model with
+   write-invalidate coherence, *measuring* every Appendix-A parameter;
+3. feed the measured parameters to the MVA and rank the protocols.
+"""
+
+from repro.core.model import CacheMVAModel
+from repro.protocols.family import PROTOCOLS
+from repro.trace import (
+    CoherentCacheSystem,
+    GeneratorConfig,
+    SyntheticTraceGenerator,
+    WorkloadEstimator,
+)
+
+TRACE_LENGTH = 300_000
+
+
+def measure(label: str, config: GeneratorConfig, n_sets: int,
+            associativity: int):
+    generator = SyntheticTraceGenerator(config)
+    system = CoherentCacheSystem(config.n_processors, n_sets, associativity)
+    estimator = WorkloadEstimator(system, generator.stream_of)
+    estimator.observe_trace(generator.trace(TRACE_LENGTH))
+    system.check_coherence()
+    report = estimator.estimate()
+    print(f"--- {label} ---")
+    print("  " + report.summary())
+    return report.workload
+
+
+def main() -> None:
+    print(f"measuring workloads from {TRACE_LENGTH:,}-reference synthetic "
+          "traces\n")
+    workloads = {
+        "16KB-ish caches (256 sets x 4 ways)": measure(
+            "baseline locality, mid-size caches",
+            GeneratorConfig(seed=42), n_sets=256, associativity=4),
+        "small caches (64 sets x 2 ways)": measure(
+            "baseline locality, small caches",
+            GeneratorConfig(seed=42), n_sets=64, associativity=2),
+        "write-heavy sharing": measure(
+            "write-heavy shared stream",
+            GeneratorConfig(seed=42, p_private=0.90, p_sro=0.04, p_sw=0.06,
+                            r_sw=0.3), n_sets=256, associativity=4),
+    }
+
+    print("\n=== protocol ranking under each measured workload (N=16) ===")
+    names = list(PROTOCOLS)
+    header = f"{'workload':>36}" + "".join(f" {n[:9]:>10}" for n in names)
+    print(header)
+    for label, workload in workloads.items():
+        row = f"{label:>36}"
+        for name in names:
+            speedup = CacheMVAModel(workload, PROTOCOLS[name]).speedup(16)
+            row += f" {speedup:>10.2f}"
+        print(row)
+
+    print("\nnote how measurement changes the story: these traces show far "
+          "more dirty\nsharing (wb_csupply 0.5-0.8) than Appendix A's 0.3, "
+          "so the ownership\nprotocols (Berkeley, Dragon -- modification 2) "
+          "pull ahead of Illinois --\nexactly the Section 4.4 observation "
+          "that the mod-1-vs-mod-2 ranking is a\nworkload question, not an "
+          "architectural constant.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro -- Mean-value analysis of snooping cache-consistency protocols.
+
+A reproduction of Vernon, Lazowska & Zahorjan, *An Accurate and
+Efficient Performance Analysis Technique for Multiprocessor Snooping
+Cache-Consistency Protocols* (ISCA 1988 / UW CS TR #746).
+
+The package provides:
+
+* :class:`CacheMVAModel` -- the paper's customized mean-value equations,
+  solved by fixed-point iteration in milliseconds for any system size;
+* :mod:`repro.protocols` -- Write-Once and its four modifications in any
+  combination, plus the named protocol family (Synapse, Illinois,
+  Berkeley, RWB, Dragon);
+* :mod:`repro.sim` -- a discrete-event simulator of the same system,
+  used as the detailed comparator (standing in for the paper's GTPN);
+* :mod:`repro.gtpn` -- a Generalized Timed Petri Net engine with exact
+  Markov-chain solution for small nets;
+* :mod:`repro.queueing` -- classical exact/approximate MVA for closed
+  queueing networks;
+* :mod:`repro.analysis` -- the experiment harness regenerating every
+  table and figure of the paper (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from repro.core.metrics import PerformanceReport, ResponseBreakdown
+from repro.core.model import TABLE_41_SIZES, CacheMVAModel
+from repro.core.solver import FixedPointSolver, SolverDiagnostics, SolverError
+from repro.protocols.modifications import Modification, ProtocolSpec
+from repro.protocols.family import PROTOCOLS, protocol_by_name
+from repro.workload.parameters import (
+    ArchitectureParams,
+    SharingLevel,
+    WorkloadParameters,
+    appendix_a_workload,
+    stress_test_workload,
+)
+from repro.workload.derived import DerivedInputs, derive_inputs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchitectureParams",
+    "CacheMVAModel",
+    "DerivedInputs",
+    "FixedPointSolver",
+    "Modification",
+    "PROTOCOLS",
+    "PerformanceReport",
+    "ProtocolSpec",
+    "ResponseBreakdown",
+    "SharingLevel",
+    "SolverDiagnostics",
+    "SolverError",
+    "TABLE_41_SIZES",
+    "WorkloadParameters",
+    "appendix_a_workload",
+    "derive_inputs",
+    "protocol_by_name",
+    "stress_test_workload",
+    "__version__",
+]

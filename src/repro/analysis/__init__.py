@@ -1,0 +1,45 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`~repro.analysis.tables` -- plain-text / markdown / CSV table
+  rendering in the style of Table 4.1;
+* :mod:`~repro.analysis.comparison` -- MVA vs detailed-model agreement
+  studies (the Section 4.2 methodology);
+* :mod:`~repro.analysis.figures` -- speedup-curve series for Figure 4.1
+  with an ASCII renderer;
+* :mod:`~repro.analysis.experiments` -- the experiment registry
+  (DESIGN.md rows E1-E12), including the paper's published numbers for
+  side-by-side comparison.
+"""
+
+from repro.analysis.tables import Table, format_table
+from repro.analysis.comparison import (
+    AgreementCell,
+    AgreementStudy,
+    compare_mva_and_simulation,
+)
+from repro.analysis.figures import FigureSeries, ascii_chart, figure_41_series
+from repro.analysis.experiments import (
+    PAPER_TABLE_41,
+    TABLE_41_PROTOCOLS,
+    paper_table,
+    reproduce_table_41,
+)
+from repro.analysis.grid import GridCell, GridSpec, run_grid
+
+__all__ = [
+    "AgreementCell",
+    "AgreementStudy",
+    "FigureSeries",
+    "GridCell",
+    "GridSpec",
+    "PAPER_TABLE_41",
+    "TABLE_41_PROTOCOLS",
+    "Table",
+    "ascii_chart",
+    "compare_mva_and_simulation",
+    "figure_41_series",
+    "format_table",
+    "paper_table",
+    "reproduce_table_41",
+    "run_grid",
+]

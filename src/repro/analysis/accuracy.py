@@ -1,0 +1,69 @@
+"""Accuracy summaries over agreement studies (Section 4.2 style).
+
+Aggregates :class:`~repro.analysis.comparison.AgreementStudy` results
+into the statistics the paper reports ("nearly all MVA estimates are
+within 1%... the maximum relative error is 2.6%"), plus a significance
+check: an MVA-vs-simulation discrepancy only counts as model bias when
+it exceeds the simulation's own confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.analysis.comparison import AgreementStudy
+
+
+@dataclass(frozen=True)
+class AccuracySummary:
+    """Aggregate error statistics across one or more studies."""
+
+    n_cells: int
+    max_abs_error: float
+    mean_abs_error: float
+    rms_error: float
+    #: Fraction of cells with |relative error| below 1 % (the paper's
+    #: "nearly all ... within 1%" framing).
+    within_1pct: float
+    within_5pct: float
+    #: Cells where the discrepancy exceeds the simulation CI -- the
+    #: statistically meaningful disagreements.
+    significant_cells: int
+    #: Mean signed error: negative = the MVA underestimates speedup
+    #: (the bias direction the paper reports).
+    mean_signed_error: float
+
+    def text(self) -> str:
+        return (f"{self.n_cells} cells: max |err| "
+                f"{self.max_abs_error:.2%}, mean |err| "
+                f"{self.mean_abs_error:.2%}, RMS {self.rms_error:.2%}; "
+                f"{self.within_1pct:.0%} within 1%, "
+                f"{self.within_5pct:.0%} within 5%; "
+                f"{self.significant_cells} cells beyond the simulation CI; "
+                f"mean signed error {self.mean_signed_error:+.2%}")
+
+
+def summarize(studies: Sequence[AgreementStudy]) -> AccuracySummary:
+    """Aggregate every cell of the given studies."""
+    cells = [cell for study in studies for cell in study.cells]
+    if not cells:
+        raise ValueError("no cells to summarize")
+    errors = [cell.relative_error for cell in cells]
+    abs_errors = [abs(e) for e in errors]
+    significant = 0
+    for cell in cells:
+        gap = abs(cell.mva_speedup - cell.detailed_speedup)
+        if gap > 2.0 * cell.detailed_ci and cell.detailed_ci > 0.0:
+            significant += 1
+    return AccuracySummary(
+        n_cells=len(cells),
+        max_abs_error=max(abs_errors),
+        mean_abs_error=sum(abs_errors) / len(abs_errors),
+        rms_error=math.sqrt(sum(e * e for e in errors) / len(errors)),
+        within_1pct=sum(e <= 0.01 + 1e-12 for e in abs_errors) / len(abs_errors),
+        within_5pct=sum(e <= 0.05 + 1e-12 for e in abs_errors) / len(abs_errors),
+        significant_cells=significant,
+        mean_signed_error=sum(errors) / len(errors),
+    )

@@ -1,0 +1,132 @@
+"""MVA vs detailed-model agreement studies (the Section 4.2 methodology).
+
+The paper's central experiment: solve the same (workload, protocol, N)
+cell with the cheap mean-value equations and with an expensive detailed
+model, and report the relative speedup error.  Here the detailed model
+is the discrete-event simulator (see DESIGN.md on the GTPN
+substitution).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.model import CacheMVAModel
+from repro.protocols.modifications import ProtocolSpec
+from repro.sim.config import SimulationConfig
+from repro.sim.system import SimulationResult, simulate
+from repro.workload.parameters import ArchitectureParams, WorkloadParameters
+
+
+@dataclass(frozen=True)
+class AgreementCell:
+    """One (N,) comparison point."""
+
+    n_processors: int
+    mva_speedup: float
+    detailed_speedup: float
+    detailed_ci: float
+    mva_u_bus: float
+    detailed_u_bus: float
+    mva_w_bus: float
+    detailed_w_bus: float
+
+    @property
+    def relative_error(self) -> float:
+        """(MVA - detailed) / detailed; the paper reports |.| <= ~3 %."""
+        if self.detailed_speedup == 0.0:
+            return 0.0
+        return (self.mva_speedup - self.detailed_speedup) / self.detailed_speedup
+
+    @property
+    def u_bus_error(self) -> float:
+        if self.detailed_u_bus == 0.0:
+            return 0.0
+        return (self.mva_u_bus - self.detailed_u_bus) / self.detailed_u_bus
+
+
+@dataclass(frozen=True)
+class AgreementStudy:
+    """All comparison cells for one protocol/workload."""
+
+    protocol_label: str
+    sharing_label: str
+    cells: tuple[AgreementCell, ...]
+
+    @property
+    def max_abs_error(self) -> float:
+        return max((abs(c.relative_error) for c in self.cells), default=0.0)
+
+    @property
+    def mean_abs_error(self) -> float:
+        if not self.cells:
+            return 0.0
+        return sum(abs(c.relative_error) for c in self.cells) / len(self.cells)
+
+    def worst_cell(self) -> AgreementCell:
+        return max(self.cells, key=lambda c: abs(c.relative_error))
+
+    def summary(self) -> str:
+        return (f"{self.protocol_label} @ {self.sharing_label}: "
+                f"max |rel err| = {self.max_abs_error * 100:.2f}% over "
+                f"N in {[c.n_processors for c in self.cells]}")
+
+
+def compare_mva_and_simulation(
+    workload: WorkloadParameters,
+    protocol: ProtocolSpec,
+    sizes: Iterable[int],
+    arch: ArchitectureParams | None = None,
+    seed: int = 2024,
+    warmup_requests: int = 4_000,
+    measured_requests: int = 60_000,
+) -> AgreementStudy:
+    """Run the Section-4.2 agreement experiment over ``sizes``."""
+    arch = arch or ArchitectureParams()
+    model = CacheMVAModel(workload, protocol, arch=arch)
+    cells = []
+    for n in sizes:
+        mva = model.solve(n)
+        detailed: SimulationResult = simulate(SimulationConfig(
+            n_processors=n, workload=workload, protocol=protocol, arch=arch,
+            seed=seed + n, warmup_requests=warmup_requests,
+            measured_requests=measured_requests))
+        cells.append(AgreementCell(
+            n_processors=n,
+            mva_speedup=mva.speedup,
+            detailed_speedup=detailed.speedup,
+            detailed_ci=detailed.speedup_ci_halfwidth,
+            mva_u_bus=mva.u_bus,
+            detailed_u_bus=detailed.u_bus,
+            mva_w_bus=mva.w_bus,
+            detailed_w_bus=detailed.w_bus,
+        ))
+    return AgreementStudy(
+        protocol_label=protocol.label,
+        sharing_label=model.sharing_label,
+        cells=tuple(cells),
+    )
+
+
+def agreement_table(study: AgreementStudy):
+    """Render an agreement study as a :class:`~repro.analysis.tables.Table`."""
+    from repro.analysis.tables import Table
+
+    table = Table(
+        title=(f"MVA vs detailed model -- {study.protocol_label} "
+               f"({study.sharing_label} sharing)"),
+        columns=["N", "MVA", "detailed", "CI±", "rel err %",
+                 "U_bus MVA", "U_bus det"],
+    )
+    for cell in study.cells:
+        table.add_row(
+            cell.n_processors,
+            cell.mva_speedup,
+            cell.detailed_speedup,
+            cell.detailed_ci,
+            cell.relative_error * 100.0,
+            cell.mva_u_bus,
+            cell.detailed_u_bus,
+        )
+    return table

@@ -1,0 +1,109 @@
+"""Figure 4.1: speedup-versus-processors curves, with an ASCII renderer.
+
+The paper plots speedup against system size for Write-Once, Write-Once
++ modification 1, and Write-Once + modifications 1 & 4, at three
+sharing levels (mods 2 and 3 are "nearly indistinguishable" and are not
+drawn).  :func:`figure_41_series` regenerates those series from the
+MVA; :func:`ascii_chart` renders any set of series in the terminal, and
+``to_csv`` supports external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.model import CacheMVAModel
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+#: The x-axis of Figure 4.1 (the paper draws 1..20; Table 4.1 adds 100).
+FIGURE_41_SIZES: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 20)
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One labelled curve."""
+
+    label: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError("xs and ys must have equal length")
+
+
+def figure_41_series(
+    sizes: Sequence[int] = FIGURE_41_SIZES,
+) -> list[FigureSeries]:
+    """The seven curves of Figure 4.1.
+
+    Write-Once and WO+1 at each sharing level, plus WO+1+4 at 5 %
+    (the paper draws only the 5 % curve for the third protocol because
+    "the other two curves are nearly identical").
+    """
+    series = []
+    for protocol, levels in (
+        (ProtocolSpec(), list(SharingLevel)),
+        (ProtocolSpec.of(1), list(SharingLevel)),
+        (ProtocolSpec.of(1, 4), [SharingLevel.FIVE_PERCENT]),
+    ):
+        for level in levels:
+            model = CacheMVAModel(appendix_a_workload(level), protocol)
+            ys = tuple(model.speedup(n) for n in sizes)
+            series.append(FigureSeries(
+                label=f"{protocol.label} ({level.label})",
+                xs=tuple(float(n) for n in sizes),
+                ys=ys,
+            ))
+    return series
+
+
+def ascii_chart(series: Sequence[FigureSeries], width: int = 72,
+                height: int = 20, title: str = "") -> str:
+    """A quick terminal scatter/line chart of several series."""
+    if not series:
+        raise ValueError("no series to plot")
+    markers = "ox+*#@%&"
+    xs_all = [x for s in series for x in s.xs]
+    ys_all = [y for s in series for y in s.ys]
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    if math.isclose(x_lo, x_hi):
+        x_hi = x_lo + 1.0
+    if math.isclose(y_lo, y_hi):
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for k, s in enumerate(series):
+        marker = markers[k % len(markers)]
+        for x, y in zip(s.xs, s.ys):
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(f"{y_hi:8.2f} +" + "-" * width + "\n")
+    for row in grid:
+        out.write(" " * 9 + "|" + "".join(row) + "\n")
+    out.write(f"{y_lo:8.2f} +" + "-" * width + "\n")
+    out.write(" " * 10 + f"{x_lo:<8.0f}" + " " * max(width - 16, 0)
+              + f"{x_hi:>8.0f}\n")
+    for k, s in enumerate(series):
+        out.write(f"   {markers[k % len(markers)]} {s.label}\n")
+    return out.getvalue()
+
+
+def to_csv(series: Sequence[FigureSeries]) -> str:
+    """Long-format CSV (series,x,y) for external plotting."""
+    out = io.StringIO()
+    out.write("series,n_processors,speedup\n")
+    for s in series:
+        for x, y in zip(s.xs, s.ys):
+            out.write(f"{s.label},{x:g},{y:.6f}\n")
+    return out.getvalue()

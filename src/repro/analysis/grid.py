@@ -1,0 +1,148 @@
+"""Grid runner: sweep (protocol x sharing x N) and persist results.
+
+The interactive-exploration workflow the paper advertises, packaged:
+define a grid, run it (MVA always; simulation optionally), and export
+the cells as CSV/JSON for external analysis.  Used by the ``grid`` CLI
+subcommand and the design-space example.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections.abc import Iterable, Sequence
+from dataclasses import asdict, dataclass, field
+
+from repro.core.model import CacheMVAModel
+from repro.protocols.modifications import ProtocolSpec
+from repro.sim.config import SimulationConfig
+from repro.sim.system import simulate
+from repro.workload.parameters import (
+    ArchitectureParams,
+    SharingLevel,
+    WorkloadParameters,
+    appendix_a_workload,
+)
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One solved grid point."""
+
+    protocol: str
+    sharing: str
+    n_processors: int
+    speedup: float
+    u_bus: float
+    w_bus: float
+    cycle_time: float
+    processing_power: float
+    method: str = "mva"
+    sim_ci: float | None = None
+
+    def as_row(self) -> dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """What to sweep."""
+
+    protocols: Sequence[ProtocolSpec]
+    sizes: Sequence[int]
+    sharing_levels: Sequence[SharingLevel] = field(
+        default_factory=lambda: list(SharingLevel))
+    arch: ArchitectureParams = field(default_factory=ArchitectureParams)
+    include_simulation: bool = False
+    sim_requests: int = 40_000
+    sim_seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if not self.protocols:
+            raise ValueError("at least one protocol required")
+        if not self.sizes:
+            raise ValueError("at least one system size required")
+        if any(n < 1 for n in self.sizes):
+            raise ValueError("system sizes must be >= 1")
+
+
+def run_grid(spec: GridSpec,
+             workload_for: "callable[[SharingLevel], WorkloadParameters]" = appendix_a_workload,
+             ) -> list[GridCell]:
+    """Solve every grid point; simulation cells follow their MVA cell."""
+    cells: list[GridCell] = []
+    for protocol in spec.protocols:
+        for level in spec.sharing_levels:
+            workload = workload_for(level)
+            model = CacheMVAModel(workload, protocol, arch=spec.arch)
+            for n in spec.sizes:
+                report = model.solve(n)
+                cells.append(GridCell(
+                    protocol=protocol.label,
+                    sharing=level.label,
+                    n_processors=n,
+                    speedup=report.speedup,
+                    u_bus=report.u_bus,
+                    w_bus=report.w_bus,
+                    cycle_time=report.cycle_time,
+                    processing_power=report.processing_power,
+                ))
+                if spec.include_simulation:
+                    result = simulate(SimulationConfig(
+                        n_processors=n, workload=workload,
+                        protocol=protocol, arch=spec.arch,
+                        seed=spec.sim_seed + n,
+                        measured_requests=spec.sim_requests))
+                    cells.append(GridCell(
+                        protocol=protocol.label,
+                        sharing=level.label,
+                        n_processors=n,
+                        speedup=result.speedup,
+                        u_bus=result.u_bus,
+                        w_bus=result.w_bus,
+                        cycle_time=result.mean_cycle_time,
+                        processing_power=result.processing_power,
+                        method="sim",
+                        sim_ci=result.speedup_ci_halfwidth,
+                    ))
+    return cells
+
+
+_CSV_COLUMNS = ("protocol", "sharing", "n_processors", "method", "speedup",
+                "u_bus", "w_bus", "cycle_time", "processing_power", "sim_ci")
+
+
+def to_csv(cells: Iterable[GridCell]) -> str:
+    """Flat CSV export of a grid run."""
+    out = io.StringIO()
+    out.write(",".join(_CSV_COLUMNS) + "\n")
+    for cell in cells:
+        row = cell.as_row()
+        values = []
+        for column in _CSV_COLUMNS:
+            value = row[column]
+            if value is None:
+                values.append("")
+            elif isinstance(value, float):
+                values.append(f"{value:.6g}")
+            else:
+                values.append(str(value))
+        out.write(",".join(values) + "\n")
+    return out.getvalue()
+
+
+def to_json(cells: Iterable[GridCell]) -> str:
+    """JSON-lines-free single-document export."""
+    return json.dumps([cell.as_row() for cell in cells], indent=2)
+
+
+def best_protocol_per_cell(cells: Iterable[GridCell]) -> dict[tuple[str, int], str]:
+    """For each (sharing, N), the protocol with the highest MVA speedup."""
+    best: dict[tuple[str, int], GridCell] = {}
+    for cell in cells:
+        if cell.method != "mva":
+            continue
+        key = (cell.sharing, cell.n_processors)
+        if key not in best or cell.speedup > best[key].speedup:
+            best[key] = cell
+    return {key: cell.protocol for key, cell in best.items()}

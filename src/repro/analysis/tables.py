@@ -1,0 +1,85 @@
+"""Plain-text, markdown, and CSV table rendering."""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A small column-oriented table: header row plus value rows.
+
+    Values may be floats (formatted with ``float_format``), strings, or
+    None (rendered as the ``missing`` marker, like the empty GTPN cells
+    of Table 4.1 beyond ten processors).
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[object]] = field(default_factory=list)
+    float_format: str = "{:.3f}"
+    missing: str = "--"
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns")
+        self.rows.append(list(values))
+
+    def _cell(self, value: object) -> str:
+        if value is None:
+            return self.missing
+        if isinstance(value, float):
+            return self.float_format.format(value)
+        return str(value)
+
+    def render(self) -> str:
+        """Fixed-width plain-text rendering."""
+        cells = [[self._cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(name)), *(len(row[i]) for row in cells))
+            if cells else len(str(name))
+            for i, name in enumerate(self.columns)
+        ]
+        out = io.StringIO()
+        out.write(self.title + "\n")
+        header = "  ".join(str(n).rjust(w) for n, w in zip(self.columns, widths))
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for row in cells:
+            out.write("  ".join(c.rjust(w) for c, w in zip(row, widths)) + "\n")
+        return out.getvalue()
+
+    def render_markdown(self) -> str:
+        out = io.StringIO()
+        out.write(f"**{self.title}**\n\n")
+        out.write("| " + " | ".join(str(c) for c in self.columns) + " |\n")
+        out.write("|" + "|".join("---" for _ in self.columns) + "|\n")
+        for row in self.rows:
+            out.write("| " + " | ".join(self._cell(v) for v in row) + " |\n")
+        return out.getvalue()
+
+    def render_csv(self) -> str:
+        out = io.StringIO()
+        out.write(",".join(str(c) for c in self.columns) + "\n")
+        for row in self.rows:
+            out.write(",".join(self._cell(v) for v in row) + "\n")
+        return out.getvalue()
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 style: str = "text") -> str:
+    """One-shot convenience around :class:`Table`."""
+    table = Table(title=title, columns=list(columns))
+    for row in rows:
+        table.add_row(*row)
+    if style == "text":
+        return table.render()
+    if style == "markdown":
+        return table.render_markdown()
+    if style == "csv":
+        return table.render_csv()
+    raise ValueError(f"unknown style {style!r}")

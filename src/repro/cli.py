@@ -1,0 +1,348 @@
+"""Command-line interface: ``python -m repro`` or the ``repro-mva`` script.
+
+Subcommands:
+
+* ``solve``    -- one MVA solution (protocol, sharing, N)
+* ``table``    -- regenerate Table 4.1(a|b|c) next to the published rows
+* ``figure``   -- ASCII Figure 4.1 (or CSV for external plotting)
+* ``simulate`` -- one discrete-event simulation run
+* ``compare``  -- MVA vs simulation agreement study (Section 4.2)
+* ``protocols``-- list the named protocol family
+* ``hierarchy``-- two-level-bus extension (clusters on a global bus)
+* ``estimate`` -- measure Appendix-A parameters from a synthetic trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.comparison import agreement_table, compare_mva_and_simulation
+from repro.analysis.experiments import paper_table
+from repro.analysis.figures import ascii_chart, figure_41_series, to_csv
+from repro.core.model import CacheMVAModel
+from repro.protocols.family import PROTOCOLS
+from repro.protocols.modifications import ProtocolSpec, parse_mods
+from repro.sim.config import SimulationConfig
+from repro.sim.system import simulate
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+_SHARING = {
+    "1": SharingLevel.ONE_PERCENT,
+    "5": SharingLevel.FIVE_PERCENT,
+    "20": SharingLevel.TWENTY_PERCENT,
+}
+
+
+def _protocol_from_args(args: argparse.Namespace) -> ProtocolSpec:
+    if args.protocol:
+        name = args.protocol.strip().lower()
+        if name in PROTOCOLS:
+            return PROTOCOLS[name]
+        return parse_mods(args.protocol)
+    return parse_mods(args.mods or "")
+
+
+def _add_protocol_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--protocol", help="named protocol (write-once, "
+                        "synapse, illinois, berkeley, rwb, dragon) or a "
+                        "modification list like '1,4'")
+    parser.add_argument("--mods", help="modification list, e.g. '1,4'")
+    parser.add_argument("--sharing", choices=sorted(_SHARING), default="5",
+                        help="Appendix-A sharing level in percent")
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    protocol = _protocol_from_args(args)
+    workload = appendix_a_workload(_SHARING[args.sharing])
+    model = CacheMVAModel(workload, protocol)
+    for n in args.n:
+        report = model.solve(n)
+        print(report.summary())
+        if args.verbose:
+            r = report.response
+            print(f"    R={r.total:.4f} (tau={r.tau} local={r.r_local:.4f} "
+                  f"bc={r.r_broadcast:.4f} rr={r.r_remote_read:.4f} "
+                  f"supply={r.t_supply})")
+            print(f"    w_bus={report.w_bus:.4f} w_mem={report.w_mem:.4f} "
+                  f"U_mem={report.u_mem:.4f} Q_bus={report.q_bus:.4f} "
+                  f"power={report.processing_power:.4f}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    for part in args.part:
+        try:
+            print(paper_table(part).render())
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    series = figure_41_series()
+    if args.csv:
+        print(to_csv(series), end="")
+    else:
+        print(ascii_chart(series, title="Figure 4.1: speedup vs processors"))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    protocol = _protocol_from_args(args)
+    workload = appendix_a_workload(_SHARING[args.sharing])
+    for n in args.n:
+        result = simulate(SimulationConfig(
+            n_processors=n, workload=workload, protocol=protocol,
+            seed=args.seed, measured_requests=args.requests))
+        print(result.summary())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    protocol = _protocol_from_args(args)
+    workload = appendix_a_workload(_SHARING[args.sharing])
+    study = compare_mva_and_simulation(
+        workload, protocol, args.n, seed=args.seed,
+        measured_requests=args.requests)
+    print(agreement_table(study).render())
+    print(study.summary())
+    return 0
+
+
+def _cmd_hierarchy(args: argparse.Namespace) -> int:
+    from repro.hierarchy import HierarchicalMVAModel, HierarchyParams
+
+    protocol = _protocol_from_args(args)
+    workload = appendix_a_workload(_SHARING[args.sharing])
+    print(f"{'C':>4} {'N':>5} {'speedup':>8} {'U_local':>8} {'U_global':>9}")
+    for clusters in args.clusters:
+        params = HierarchyParams(
+            clusters=clusters, per_cluster=args.per_cluster,
+            cluster_locality=args.locality,
+            cluster_cache_hit=args.cluster_cache)
+        report = HierarchicalMVAModel(workload, params,
+                                      protocol=protocol).solve()
+        print(f"{clusters:>4} {report.n_processors:>5} "
+              f"{report.speedup:>8.3f} {report.u_local_bus:>8.3f} "
+              f"{report.u_global_bus:>9.3f}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.core.model import CacheMVAModel as _Model
+    from repro.trace import (
+        CoherentCacheSystem,
+        GeneratorConfig,
+        SyntheticTraceGenerator,
+        WorkloadEstimator,
+    )
+
+    config = GeneratorConfig(n_processors=args.cpus, seed=args.seed)
+    generator = SyntheticTraceGenerator(config)
+    system = CoherentCacheSystem(args.cpus, args.sets, args.ways)
+    estimator = WorkloadEstimator(system, generator.stream_of)
+    estimator.observe_trace(generator.trace(args.references))
+    report = estimator.estimate()
+    print(report.summary())
+    protocol = _protocol_from_args(args)
+    model = _Model(report.workload, protocol)
+    for n in args.n:
+        print(f"  -> {protocol.label} N={n}: "
+              f"speedup {model.speedup(n):.3f}")
+    return 0
+
+
+def _cmd_crossmodel(args: argparse.Namespace) -> int:
+    from repro.analysis.crossmodel import cross_model_table, cross_validate
+
+    protocol = _protocol_from_args(args)
+    workload = appendix_a_workload(_SHARING[args.sharing])
+    cells = cross_validate(workload, protocol, sizes=tuple(args.n),
+                           sim_requests=args.requests)
+    print(cross_model_table(cells).render())
+    worst = max(cell.spread for cell in cells)
+    print(f"max cross-technique spread: {worst:.2%}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """A compact live reproduction report: tables, agreement, accuracy."""
+    from repro.analysis.accuracy import summarize
+
+    print("=" * 72)
+    print("Reproduction report: Vernon, Lazowska & Zahorjan (ISCA 1988)")
+    print("=" * 72 + "\n")
+    for part in ("a", "b", "c"):
+        print(paper_table(part).render())
+    print("MVA vs detailed simulation (Section 4.2 methodology):\n")
+    studies = []
+    for mods in [(), (1,), (1, 4)]:
+        protocol = ProtocolSpec.of(*mods)
+        study = compare_mva_and_simulation(
+            appendix_a_workload(SharingLevel.FIVE_PERCENT), protocol,
+            sizes=args.n, measured_requests=args.requests)
+        studies.append(study)
+        print("  " + study.summary())
+    print("\nPooled accuracy: " + summarize(studies).text())
+    print("\n(paper: <= 2.6-4.25% max error vs its GTPN; MVA "
+          "underestimates\nbus utilization and speedup under contention)")
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from repro.analysis.grid import GridSpec, run_grid, to_csv, to_json
+
+    if args.all_combinations:
+        from repro.protocols.modifications import all_combinations
+        protocols = all_combinations()
+    elif args.protocols:
+        protocols = []
+        for text in args.protocols:
+            name = text.strip().lower()
+            protocols.append(PROTOCOLS[name] if name in PROTOCOLS
+                             else parse_mods(text))
+    else:
+        protocols = [ProtocolSpec(), ProtocolSpec.of(1), ProtocolSpec.of(1, 4)]
+    spec = GridSpec(protocols=protocols, sizes=args.n,
+                    include_simulation=args.simulate,
+                    sim_requests=args.requests)
+    cells = run_grid(spec)
+    payload = to_json(cells) if args.json else to_csv(cells)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(payload)
+        print(f"wrote {len(cells)} cells to {args.output}")
+    else:
+        print(payload, end="")
+    return 0
+
+
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    for name, spec in PROTOCOLS.items():
+        mods = ",".join(str(int(m)) for m in spec) or "none"
+        print(f"{name:<12} modifications: {mods}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mva",
+        description="Mean-value analysis of snooping cache-consistency "
+                    "protocols (Vernon, Lazowska & Zahorjan, ISCA 1988)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve the MVA model")
+    _add_protocol_options(p_solve)
+    p_solve.add_argument("-n", type=int, nargs="+", default=[10],
+                         help="system sizes")
+    p_solve.add_argument("--verbose", action="store_true")
+    p_solve.set_defaults(func=_cmd_solve)
+
+    p_table = sub.add_parser("table", help="regenerate Table 4.1")
+    p_table.add_argument("part", nargs="*", default=["a", "b", "c"],
+                         help="table parts: a, b and/or c (default: all)")
+    p_table.set_defaults(func=_cmd_table)
+
+    p_fig = sub.add_parser("figure", help="regenerate Figure 4.1")
+    p_fig.add_argument("--csv", action="store_true",
+                       help="emit CSV instead of an ASCII chart")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_sim = sub.add_parser("simulate", help="run the detailed simulator")
+    _add_protocol_options(p_sim)
+    p_sim.add_argument("-n", type=int, nargs="+", default=[10])
+    p_sim.add_argument("--seed", type=int, default=2024)
+    p_sim.add_argument("--requests", type=int, default=50_000)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_cmp = sub.add_parser("compare", help="MVA vs simulation agreement")
+    _add_protocol_options(p_cmp)
+    p_cmp.add_argument("-n", type=int, nargs="+", default=[2, 6, 10])
+    p_cmp.add_argument("--seed", type=int, default=2024)
+    p_cmp.add_argument("--requests", type=int, default=60_000)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_list = sub.add_parser("protocols", help="list named protocols")
+    p_list.set_defaults(func=_cmd_protocols)
+
+    p_hier = sub.add_parser("hierarchy",
+                            help="two-level-bus extension study")
+    _add_protocol_options(p_hier)
+    p_hier.add_argument("--clusters", type=int, nargs="+",
+                        default=[1, 2, 4, 8, 16])
+    p_hier.add_argument("--per-cluster", type=int, default=8)
+    p_hier.add_argument("--locality", type=float, default=0.9,
+                        help="probability sharers are in-cluster")
+    p_hier.add_argument("--cluster-cache", type=float, default=0.8,
+                        help="cluster-cache hit rate for escaping misses")
+    p_hier.set_defaults(func=_cmd_hierarchy)
+
+    p_est = sub.add_parser("estimate",
+                           help="measure workload parameters from a "
+                                "synthetic trace and solve the MVA")
+    _add_protocol_options(p_est)
+    p_est.add_argument("--cpus", type=int, default=4)
+    p_est.add_argument("--references", type=int, default=100_000)
+    p_est.add_argument("--sets", type=int, default=256)
+    p_est.add_argument("--ways", type=int, default=4)
+    p_est.add_argument("--seed", type=int, default=7)
+    p_est.add_argument("-n", type=int, nargs="+", default=[10])
+    p_est.set_defaults(func=_cmd_estimate)
+
+    p_grid = sub.add_parser("grid", help="sweep a protocol/size grid and "
+                                         "export CSV or JSON")
+    p_grid.add_argument("--protocols", nargs="+",
+                        help="named protocols or modification lists")
+    p_grid.add_argument("--all-combinations", action="store_true",
+                        help="sweep all 16 modification combinations")
+    p_grid.add_argument("-n", type=int, nargs="+",
+                        default=[1, 2, 4, 8, 16, 32])
+    p_grid.add_argument("--simulate", action="store_true",
+                        help="add detailed-simulation rows per cell")
+    p_grid.add_argument("--requests", type=int, default=40_000)
+    p_grid.add_argument("--json", action="store_true")
+    p_grid.add_argument("--output", "-o", help="write to a file")
+    p_grid.set_defaults(func=_cmd_grid)
+
+    p_report = sub.add_parser("report", help="compact live reproduction "
+                                             "report (tables + agreement)")
+    p_report.add_argument("-n", type=int, nargs="+", default=[2, 6, 10])
+    p_report.add_argument("--requests", type=int, default=40_000)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_cross = sub.add_parser("crossmodel",
+                             help="four-technique cross-validation at "
+                                  "small N (MVA/DES/Petri chains)")
+    _add_protocol_options(p_cross)
+    p_cross.add_argument("-n", type=int, nargs="+", default=[1, 2, 3, 4])
+    p_cross.add_argument("--requests", type=int, default=30_000)
+    p_cross.set_defaults(func=_cmd_crossmodel)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an
+        # error.  Point stdout at devnull so the interpreter's shutdown
+        # flush does not raise again (no-op where stdout has no real
+        # file descriptor, e.g. under pytest capture).
+        import io
+        import os
+        if sys.stdout is sys.__stdout__:  # a real process stdout only
+            try:
+                devnull = os.open(os.devnull, os.O_WRONLY)
+                os.dup2(devnull, sys.stdout.fileno())
+            except (OSError, ValueError, io.UnsupportedOperation):
+                pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""The paper's primary contribution: customized mean-value equations.
+
+:class:`CacheMVAModel` ties together a workload, an architecture and a
+protocol specification, iterates the Section-3 equations to a fixed
+point, and reports speedup and the other performance measures.
+
+Typical use::
+
+    from repro import CacheMVAModel, appendix_a_workload, SharingLevel
+    from repro.protocols import ProtocolSpec
+
+    model = CacheMVAModel(
+        workload=appendix_a_workload(SharingLevel.FIVE_PERCENT),
+        protocol=ProtocolSpec.of(1),
+    )
+    report = model.solve(n_processors=10)
+    print(report.speedup)
+"""
+
+from repro.core.equations import EquationSystem, ModelState
+from repro.core.metrics import PerformanceReport, ResponseBreakdown
+from repro.core.model import CacheMVAModel
+from repro.core.scaled import ScaledSharingMVAModel
+from repro.core.solver import FixedPointSolver, SolverDiagnostics, SolverError
+from repro.core.sensitivity import (
+    asymptotic_speedup,
+    parameter_sensitivity,
+    speedup_curve,
+    sweep_parameter,
+)
+
+__all__ = [
+    "CacheMVAModel",
+    "EquationSystem",
+    "FixedPointSolver",
+    "ModelState",
+    "PerformanceReport",
+    "ResponseBreakdown",
+    "ScaledSharingMVAModel",
+    "SolverDiagnostics",
+    "SolverError",
+    "asymptotic_speedup",
+    "parameter_sensitivity",
+    "speedup_curve",
+    "sweep_parameter",
+]

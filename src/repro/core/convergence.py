@@ -1,0 +1,80 @@
+"""Empirical convergence analysis of the fixed-point iteration.
+
+Section 3.2 reports convergence "within 15 iterations" without
+analysis.  This module measures the iteration's behaviour: the
+contraction rate (the geometric factor by which the residual shrinks
+per sweep, i.e. an estimate of the spectral radius of the iteration
+map's Jacobian at the fixed point), and from it the iterations needed
+for any target precision.  The efficiency bench (E10) uses it to show
+*why* the count stays small: the rate stays comfortably below 1 across
+the paper's parameter space and approaches 1 only near the saturation
+knee.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.equations import EquationSystem, ModelState
+
+
+@dataclass(frozen=True)
+class ConvergenceAnalysis:
+    """Measured convergence behaviour of one equation system."""
+
+    contraction_rate: float
+    iterations_observed: int
+    residuals: tuple[float, ...]
+
+    def iterations_for(self, precision: float, initial_residual: float | None = None) -> float:
+        """Predicted sweeps to reach ``precision`` from a cold start."""
+        if precision <= 0.0:
+            raise ValueError("precision must be positive")
+        rate = self.contraction_rate
+        if rate <= 0.0:
+            return 1.0
+        if rate >= 1.0:
+            return math.inf
+        start = (initial_residual if initial_residual is not None
+                 else (self.residuals[0] if self.residuals else 1.0))
+        if start <= precision:
+            return 1.0
+        return math.log(precision / start) / math.log(rate)
+
+    @property
+    def is_contraction(self) -> bool:
+        return self.contraction_rate < 1.0
+
+
+def analyze_convergence(system: EquationSystem,
+                        max_iterations: int = 400,
+                        tolerance: float = 1e-12) -> ConvergenceAnalysis:
+    """Iterate from a cold start, recording residuals.
+
+    The contraction rate is estimated from the tail of the residual
+    sequence (geometric mean of the last few ratios), where the
+    iteration behaves linearly.
+    """
+    state = ModelState()
+    residuals: list[float] = []
+    for iteration in range(1, max_iterations + 1):
+        proposed = system.step(state)
+        residual = proposed.distance(state)
+        state = proposed
+        residuals.append(residual)
+        if residual < tolerance:
+            break
+    ratios = [b / a for a, b in zip(residuals, residuals[1:])
+              if a > 1e-14 and b > 1e-14]
+    tail = ratios[-5:] if len(ratios) >= 5 else ratios
+    if tail:
+        log_mean = sum(math.log(r) for r in tail) / len(tail)
+        rate = math.exp(log_mean)
+    else:
+        rate = 0.0
+    return ConvergenceAnalysis(
+        contraction_rate=rate,
+        iterations_observed=len(residuals),
+        residuals=tuple(residuals),
+    )

@@ -1,0 +1,147 @@
+"""The mean-value equations of paper Section 3.1, one iteration at a time.
+
+The equation numbers in the comments refer to the paper.  The system is
+cyclic (R depends on the waiting times, which depend on R), so
+:class:`EquationSystem.step` computes one sweep: given the waiting times
+of the previous iterate it produces the next :class:`ModelState`.  The
+fixed point is found by :class:`repro.core.solver.FixedPointSolver`.
+
+All quantities are per memory request and in bus cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.metrics import ResponseBreakdown
+from repro.workload.derived import CacheInterference, DerivedInputs
+
+
+@dataclass(frozen=True)
+class ModelState:
+    """One iterate of the fixed-point solution.
+
+    ``w_bus`` / ``w_mem`` are the mean bus / memory-module waiting
+    times; ``q_bus`` the mean bus queue length seen at arrival;
+    ``n_interference`` the mean number of consecutive bus requests that
+    delay a local cache access.  The derived measures (R, utilizations)
+    are carried along for reporting.
+    """
+
+    w_bus: float = 0.0
+    w_mem: float = 0.0
+    q_bus: float = 0.0
+    n_interference: float = 0.0
+    u_bus: float = 0.0
+    u_mem: float = 0.0
+    response: ResponseBreakdown | None = None
+
+    @property
+    def cycle_time(self) -> float:
+        """R of the current iterate (0 before the first sweep)."""
+        return self.response.total if self.response is not None else 0.0
+
+    def distance(self, other: "ModelState") -> float:
+        """Max absolute difference of the iterated quantities."""
+        return max(
+            abs(self.w_bus - other.w_bus),
+            abs(self.w_mem - other.w_mem),
+            abs(self.q_bus - other.q_bus),
+            abs(self.n_interference - other.n_interference),
+        )
+
+
+def _p_busy(utilization: float, n: int) -> float:
+    """Arrival-instant busy probability from a time-average utilization.
+
+    Equation (8): the arriving cache's own contribution U/N is removed
+    (the arrival theorem for closed networks, applied approximately).
+    Clamped to [0, 1) because intermediate iterates can overshoot U > 1.
+    """
+    if n <= 1:
+        return 0.0
+    u = min(utilization, float(n))
+    own = u / n
+    denominator = 1.0 - own
+    if denominator <= 0.0:
+        return 1.0 - 1e-12
+    return min(max((u - own) / denominator, 0.0), 1.0 - 1e-12)
+
+
+class EquationSystem:
+    """Equations (1)-(13) bound to one (inputs, N) instance."""
+
+    def __init__(self, inputs: DerivedInputs, n_processors: int):
+        if n_processors < 1:
+            raise ValueError(f"n_processors must be >= 1, got {n_processors!r}")
+        self.inputs = inputs
+        self.n = n_processors
+        #: Appendix-B quantities are independent of the waiting times, so
+        #: they are computed once per (inputs, N).
+        self.interference: CacheInterference = inputs.cache_interference(n_processors)
+
+    def step(self, state: ModelState) -> ModelState:
+        """One sweep of the equation system."""
+        inp, n = self.inputs, self.n
+        ci = self.interference
+
+        # --- response times (equations 1-4) ---------------------------
+        n_interference = ci.n_interference(state.q_bus)
+        r_local = inp.p_local * n_interference * ci.t_interference   # (2)
+        r_broadcast = inp.p_bc * (state.w_bus + state.w_mem + inp.t_bc)  # (3)
+        r_remote = inp.p_rr * (state.w_bus + inp.t_read)             # (4)
+        response = ResponseBreakdown(                                # (1)
+            tau=inp.workload.tau,
+            r_local=r_local,
+            r_broadcast=r_broadcast,
+            r_remote_read=r_remote,
+            t_supply=inp.arch.t_supply,
+        )
+        r_total = response.total
+
+        # --- bus queueing (equations 5-10) -----------------------------
+        q_bus = (n - 1) * (r_broadcast + r_remote) / r_total         # (6)
+        bus_service_bc = state.w_mem + inp.t_bc
+        bus_demand = inp.p_bc * bus_service_bc + inp.p_rr * inp.t_read
+        u_bus = n * bus_demand / r_total                             # (7)
+        p_busy_bus = _p_busy(u_bus, n)                               # (8)
+
+        w_bus = 0.0
+        if bus_demand > 0.0:
+            frac_bc = inp.p_bc / (inp.p_bc + inp.p_rr)               # (9)
+            t_bus = frac_bc * bus_service_bc + (1.0 - frac_bc) * inp.t_read
+            weight_bc = inp.p_bc * bus_service_bc / bus_demand       # (10)
+            t_res = (weight_bc * bus_service_bc / 2.0
+                     + (1.0 - weight_bc) * inp.t_read / 2.0)
+            waiting_others = max(q_bus - p_busy_bus, 0.0)
+            w_bus = waiting_others * t_bus + p_busy_bus * t_res      # (5)
+
+        # --- memory interference (equations 11-12) ---------------------
+        d_mem = inp.arch.memory_latency
+        u_mem = (n / inp.arch.memory_modules
+                 * inp.memory_ops_per_request() * d_mem / r_total)   # (12)
+        p_busy_mem = _p_busy(u_mem, n)
+        w_mem = p_busy_mem * d_mem / 2.0                             # (11)
+
+        return ModelState(
+            w_bus=w_bus,
+            w_mem=w_mem,
+            q_bus=q_bus,
+            n_interference=n_interference,
+            u_bus=u_bus,
+            u_mem=u_mem,
+            response=response,
+        )
+
+    def damped(self, previous: ModelState, proposed: ModelState,
+               factor: float) -> ModelState:
+        """Blend iterates: ``factor`` = 1 is plain successive substitution."""
+        if factor >= 1.0:
+            return proposed
+        mix = lambda old, new: old + factor * (new - old)  # noqa: E731
+        return replace(
+            proposed,
+            w_bus=mix(previous.w_bus, proposed.w_bus),
+            w_mem=mix(previous.w_mem, proposed.w_mem),
+            q_bus=mix(previous.q_bus, proposed.q_bus),
+        )

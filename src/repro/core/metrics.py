@@ -1,0 +1,85 @@
+"""Performance-measure value objects returned by the MVA solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResponseBreakdown:
+    """The additive components of the memory-request cycle (equation 1).
+
+    ``total`` is R: mean time between memory requests, the sum of the
+    execution burst tau, the three weighted response-time components and
+    the one-cycle cache supply time.
+    """
+
+    tau: float
+    r_local: float
+    r_broadcast: float
+    r_remote_read: float
+    t_supply: float
+
+    @property
+    def total(self) -> float:
+        return (self.tau + self.r_local + self.r_broadcast
+                + self.r_remote_read + self.t_supply)
+
+
+@dataclass(frozen=True)
+class PerformanceReport:
+    """All performance measures for one (protocol, workload, N) point.
+
+    Speedup is the paper's ``N * (tau + T_supply) / R``; processing
+    power is the sum of processor utilizations, ``N * tau / R``
+    (Section 4.4).
+    """
+
+    n_processors: int
+    protocol_label: str
+    sharing_label: str
+    response: ResponseBreakdown
+    w_bus: float
+    w_mem: float
+    u_bus: float
+    u_mem: float
+    q_bus: float
+    p_interference: float
+    p_prime_interference: float
+    n_interference: float
+    t_interference: float
+    iterations: int
+    converged: bool
+
+    @property
+    def cycle_time(self) -> float:
+        """R, the mean total time between memory requests."""
+        return self.response.total
+
+    @property
+    def speedup(self) -> float:
+        """N * (tau + T_supply) / R (Section 4)."""
+        r = self.response
+        return self.n_processors * (r.tau + r.t_supply) / r.total
+
+    @property
+    def processing_power(self) -> float:
+        """Sum of processor utilizations, N * tau / R (Section 4.4)."""
+        return self.n_processors * self.response.tau / self.response.total
+
+    @property
+    def processor_utilization(self) -> float:
+        """Per-processor useful-work fraction, tau / R."""
+        return self.response.tau / self.response.total
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup divided by the number of processors."""
+        return self.speedup / self.n_processors
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.protocol_label} N={self.n_processors} "
+                f"({self.sharing_label} sharing): speedup={self.speedup:.3f} "
+                f"U_bus={self.u_bus:.3f} w_bus={self.w_bus:.3f} "
+                f"iters={self.iterations}")

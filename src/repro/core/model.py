@@ -1,0 +1,91 @@
+"""The user-facing MVA model: workload + protocol + architecture -> report."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.equations import EquationSystem
+from repro.core.metrics import PerformanceReport
+from repro.core.solver import FixedPointSolver
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.derived import (
+    DerivedInputs,
+    ReplacementWeighting,
+    derive_inputs,
+)
+from repro.workload.parameters import ArchitectureParams, WorkloadParameters
+
+
+class CacheMVAModel:
+    """Mean-value model of one coherence protocol under one workload.
+
+    The constructor applies the protocol's Appendix-A parameter
+    overrides (``apply_overrides=True``, the paper's procedure) and
+    derives the model inputs once; :meth:`solve` then costs a handful of
+    fixed-point sweeps per system size, which is what makes the
+    technique interactive (paper Section 3.2).
+    """
+
+    def __init__(
+        self,
+        workload: WorkloadParameters,
+        protocol: ProtocolSpec | None = None,
+        arch: ArchitectureParams | None = None,
+        solver: FixedPointSolver | None = None,
+        apply_overrides: bool = True,
+        replacement_weighting: ReplacementWeighting = ReplacementWeighting.REFERENCE_MIX,
+        sharing_label: str | None = None,
+    ):
+        self.protocol = protocol if protocol is not None else ProtocolSpec()
+        self.base_workload = workload
+        self.workload = (self.protocol.adjust_workload(workload)
+                         if apply_overrides else workload)
+        self.arch = arch if arch is not None else ArchitectureParams()
+        self.solver = solver if solver is not None else FixedPointSolver()
+        self.sharing_label = (sharing_label if sharing_label is not None
+                              else f"{workload.sharing_fraction * 100:g}%")
+        self.inputs: DerivedInputs = derive_inputs(
+            self.workload,
+            self.arch,
+            self.protocol.mod_numbers,
+            replacement_weighting=replacement_weighting,
+        )
+
+    def system(self, n_processors: int) -> EquationSystem:
+        """The bound equation system for a given system size."""
+        return EquationSystem(self.inputs, n_processors)
+
+    def solve(self, n_processors: int) -> PerformanceReport:
+        """Iterate the equations to a fixed point and report measures."""
+        system = self.system(n_processors)
+        state, diagnostics = self.solver.solve(system)
+        assert state.response is not None  # at least one sweep ran
+        return PerformanceReport(
+            n_processors=n_processors,
+            protocol_label=self.protocol.label,
+            sharing_label=self.sharing_label,
+            response=state.response,
+            w_bus=state.w_bus,
+            w_mem=state.w_mem,
+            u_bus=min(state.u_bus, 1.0),
+            u_mem=min(state.u_mem, 1.0),
+            q_bus=state.q_bus,
+            p_interference=system.interference.p,
+            p_prime_interference=system.interference.p_prime,
+            n_interference=state.n_interference,
+            t_interference=system.interference.t_interference,
+            iterations=diagnostics.iterations,
+            converged=diagnostics.converged,
+        )
+
+    def speedup(self, n_processors: int) -> float:
+        """Convenience: just the speedup number."""
+        return self.solve(n_processors).speedup
+
+    def solve_many(self, sizes: Iterable[int]) -> list[PerformanceReport]:
+        """Solve for several system sizes (each from a cold start)."""
+        return [self.solve(n) for n in sizes]
+
+
+#: The system sizes reported in Table 4.1.
+TABLE_41_SIZES: Sequence[int] = (1, 2, 4, 6, 8, 10, 15, 20, 100)

@@ -1,0 +1,69 @@
+"""MVA with the N-dependent sharing refinement.
+
+:class:`ScaledSharingMVAModel` re-derives the model inputs at every
+system size, replacing the fixed Appendix-A ``csupply`` constants with
+the residency-based values of
+:class:`~repro.workload.sharing.SharingScalingModel`, and passing the
+same residency into the Appendix-B interference formulas (in place of
+their hard-coded 0.5).
+
+Calibrated at the default reference size, the refinement *agrees with
+the paper's model exactly at that size* and diverges away from it:
+below the reference point shared misses are cheaper (fewer suppliers in
+wback, less snoop work), above it slightly dearer.  The
+``bench_sharing_scaling`` experiment quantifies the effect.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import PerformanceReport
+from repro.core.model import CacheMVAModel
+from repro.core.solver import FixedPointSolver
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.derived import derive_inputs
+from repro.workload.parameters import ArchitectureParams, WorkloadParameters
+from repro.workload.sharing import SharingScalingModel
+
+
+class ScaledSharingMVAModel:
+    """Like :class:`CacheMVAModel`, but sharing scales with N."""
+
+    def __init__(
+        self,
+        workload: WorkloadParameters,
+        protocol: ProtocolSpec | None = None,
+        scaling: SharingScalingModel | None = None,
+        reference_size: int = 10,
+        arch: ArchitectureParams | None = None,
+        solver: FixedPointSolver | None = None,
+    ):
+        self.protocol = protocol if protocol is not None else ProtocolSpec()
+        self.base_workload = workload
+        self.workload = self.protocol.adjust_workload(workload)
+        self.scaling = (scaling if scaling is not None
+                        else SharingScalingModel.calibrated(
+                            self.workload, reference_size))
+        self.reference_size = reference_size
+        self.arch = arch if arch is not None else ArchitectureParams()
+        self.solver = solver if solver is not None else FixedPointSolver()
+
+    def model_for(self, n_processors: int) -> CacheMVAModel:
+        """The fixed-csupply model instantiated at one system size."""
+        scaled = self.scaling.scale(self.workload, n_processors)
+        model = CacheMVAModel(
+            scaled, self.protocol, arch=self.arch, solver=self.solver,
+            apply_overrides=False,
+            sharing_label=f"{scaled.sharing_fraction * 100:g}% (scaled)",
+        )
+        # Re-derive with the residency-based holder probability.
+        model.inputs = derive_inputs(
+            scaled, self.arch, self.protocol.mod_numbers,
+            holder_probability=self.scaling.holder_probability(scaled),
+        )
+        return model
+
+    def solve(self, n_processors: int) -> PerformanceReport:
+        return self.model_for(n_processors).solve(n_processors)
+
+    def speedup(self, n_processors: int) -> float:
+        return self.solve(n_processors).speedup

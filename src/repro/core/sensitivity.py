@@ -1,0 +1,128 @@
+"""Design-space exploration helpers built on the MVA model.
+
+The paper argues (Sections 3.2, 4.1, 5) that the MVA's speed enables
+interactive exploration: asymptotic system sizes, parameter sweeps, and
+sensitivity analyses that are impractical with the GTPN.  This module
+packages those explorations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.model import CacheMVAModel
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.parameters import ArchitectureParams, WorkloadParameters
+
+
+def speedup_curve(
+    workload: WorkloadParameters,
+    protocol: ProtocolSpec,
+    sizes: Iterable[int],
+    arch: ArchitectureParams | None = None,
+) -> list[tuple[int, float]]:
+    """(N, speedup) points for one protocol/workload."""
+    model = CacheMVAModel(workload, protocol, arch=arch)
+    return [(n, model.speedup(n)) for n in sizes]
+
+
+def asymptotic_speedup(
+    workload: WorkloadParameters,
+    protocol: ProtocolSpec,
+    arch: ArchitectureParams | None = None,
+    start: int = 64,
+    relative_tolerance: float = 1e-4,
+    max_n: int = 65536,
+) -> float:
+    """The bus-saturated speedup limit, found by doubling N until flat.
+
+    Section 4.1: "the performance does not change appreciably beyond
+    twenty processors"; this utility locates the plateau for any
+    parameter set.
+    """
+    model = CacheMVAModel(workload, protocol, arch=arch)
+    n = start
+    previous = model.speedup(n)
+    while n < max_n:
+        n *= 2
+        current = model.speedup(n)
+        if abs(current - previous) <= relative_tolerance * max(previous, 1e-12):
+            return current
+        previous = current
+    return previous
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep."""
+
+    value: float
+    speedup: float
+    u_bus: float
+    cycle_time: float
+
+
+def sweep_parameter(
+    workload: WorkloadParameters,
+    protocol: ProtocolSpec,
+    n_processors: int,
+    parameter: str,
+    values: Iterable[float],
+    arch: ArchitectureParams | None = None,
+) -> list[SweepPoint]:
+    """Re-solve the model across values of one workload parameter.
+
+    ``parameter`` is any :class:`WorkloadParameters` field name; stream
+    probabilities are not renormalized automatically (pass consistent
+    mixes explicitly when sweeping them).
+    """
+    points = []
+    for value in values:
+        w = workload.replace(**{parameter: value})
+        report = CacheMVAModel(w, protocol, arch=arch).solve(n_processors)
+        points.append(SweepPoint(value=value, speedup=report.speedup,
+                                 u_bus=report.u_bus,
+                                 cycle_time=report.cycle_time))
+    return points
+
+
+def parameter_sensitivity(
+    workload: WorkloadParameters,
+    protocol: ProtocolSpec,
+    n_processors: int,
+    parameter: str,
+    delta: float = 0.01,
+    arch: ArchitectureParams | None = None,
+) -> float:
+    """Normalized central-difference sensitivity d(speedup)/d(param).
+
+    Returns the elasticity (percent speedup change per percent parameter
+    change) where the base value allows a symmetric perturbation.
+    """
+    base_value = getattr(workload, parameter)
+    lo = max(base_value - delta, 0.0)
+    hi = min(base_value + delta, 1.0) if parameter != "tau" else base_value + delta
+    if hi <= lo:
+        raise ValueError(f"cannot perturb {parameter} around {base_value}")
+    s_lo = CacheMVAModel(workload.replace(**{parameter: lo}), protocol,
+                         arch=arch).speedup(n_processors)
+    s_hi = CacheMVAModel(workload.replace(**{parameter: hi}), protocol,
+                         arch=arch).speedup(n_processors)
+    s_base = CacheMVAModel(workload, protocol, arch=arch).speedup(n_processors)
+    if base_value == 0.0 or s_base == 0.0:
+        return (s_hi - s_lo) / (hi - lo)
+    return ((s_hi - s_lo) / s_base) / ((hi - lo) / base_value)
+
+
+def protocol_comparison(
+    workload: WorkloadParameters,
+    protocols: Sequence[ProtocolSpec],
+    n_processors: int,
+    arch: ArchitectureParams | None = None,
+) -> dict[str, float]:
+    """Speedups of several protocols at one size, keyed by label."""
+    return {
+        spec.label: CacheMVAModel(workload, spec, arch=arch).speedup(n_processors)
+        for spec in protocols
+    }

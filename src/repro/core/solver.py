@@ -1,0 +1,108 @@
+"""Fixed-point iteration of the mean-value equations (paper Section 3.2).
+
+"The equations must be solved iteratively.  We do so, starting with all
+waiting times set to zero.  Solution of the equations converged within
+15 iterations in all experiments reported in this paper, yielding
+results in under one second of cpu time, independent of the size of the
+system analyzed."
+
+The solver reproduces that scheme (successive substitution from a cold
+start) and adds the engineering a library needs: a convergence
+tolerance, an iteration cap, optional under-relaxation for pathological
+inputs, and a diagnostics trace for the efficiency benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.equations import EquationSystem, ModelState
+
+
+class SolverError(RuntimeError):
+    """Raised when the fixed-point iteration fails to converge."""
+
+
+@dataclass(frozen=True)
+class SolverDiagnostics:
+    """Convergence record of one solve."""
+
+    iterations: int
+    converged: bool
+    final_residual: float
+    #: R after every sweep, for convergence-behaviour benchmarks.
+    trace: tuple[float, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class FixedPointSolver:
+    """Successive substitution with optional damping.
+
+    Parameters
+    ----------
+    tolerance:
+        Convergence threshold on the max absolute change of the iterated
+        waiting-time quantities between sweeps.
+    max_iterations:
+        Hard cap; exceeded only for inputs far outside the paper's range.
+    damping:
+        Relaxation factor in (0, 1]; 1.0 reproduces the paper's scheme.
+    raise_on_divergence:
+        If True (default) a non-converged solve raises
+        :class:`SolverError`; otherwise the last iterate is returned
+        with ``converged=False`` in the diagnostics.
+    """
+
+    tolerance: float = 1e-9
+    max_iterations: int = 500
+    damping: float = 1.0
+    raise_on_divergence: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tolerance <= 0.0:
+            raise ValueError("tolerance must be positive")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if not 0.0 < self.damping <= 1.0:
+            raise ValueError("damping must be in (0, 1]")
+
+    def solve(
+        self,
+        system: EquationSystem,
+        initial: ModelState | None = None,
+    ) -> tuple[ModelState, SolverDiagnostics]:
+        """Iterate ``system`` to a fixed point.
+
+        Returns the converged state and the diagnostics.  The returned
+        state always carries a response breakdown (at least one sweep is
+        performed).
+        """
+        state = initial if initial is not None else ModelState()
+        trace: list[float] = []
+        residual = float("inf")
+        for iteration in range(1, self.max_iterations + 1):
+            proposed = system.step(state)
+            proposed = system.damped(state, proposed, self.damping)
+            residual = proposed.distance(state)
+            state = proposed
+            trace.append(state.cycle_time)
+            if residual < self.tolerance:
+                diagnostics = SolverDiagnostics(
+                    iterations=iteration,
+                    converged=True,
+                    final_residual=residual,
+                    trace=tuple(trace),
+                )
+                return state, diagnostics
+        diagnostics = SolverDiagnostics(
+            iterations=self.max_iterations,
+            converged=False,
+            final_residual=residual,
+            trace=tuple(trace),
+        )
+        if self.raise_on_divergence:
+            raise SolverError(
+                f"fixed point not reached in {self.max_iterations} iterations "
+                f"(residual {residual:.3e}); consider damping < 1"
+            )
+        return state, diagnostics

@@ -1,0 +1,73 @@
+"""A timed Petri-net engine with exact Markov-chain solution.
+
+The paper validates its MVA against a Generalized Timed Petri Net
+(GTPN) model [HoVe85, VeHo86] whose exact solution "increases
+exponentially with the number of processors analyzed" -- roughly an
+hour of 1988 CPU time at ten processors.  This package provides that
+style of detailed model:
+
+* :class:`PetriNet` -- places, immediate transitions (weights) and
+  timed transitions (rates, with single/multi/infinite-server
+  semantics), plus inhibitor arcs;
+* :func:`build_reachability` -- the (explosively growing) state space;
+* :func:`solve_steady_state` -- vanishing-state elimination and exact
+  stationary solution of the embedded continuous-time Markov chain
+  (scipy sparse);
+* :mod:`~repro.gtpn.measures` -- throughputs, token expectations, and
+  state probabilities;
+* :mod:`~repro.gtpn.models` -- textbook nets (M/M/1, machine
+  repairman) used as oracles, and a reduced coherence net solvable for
+  small N.
+
+Semantics note: the original GTPN uses *deterministic* firing times;
+exact solution of deterministic timing requires clocks in the state and
+is what made the paper's comparator so expensive.  We implement the
+memoryless (stochastic) subset and offer Erlang-stage expansion
+(:func:`~repro.gtpn.net.erlang_stages`) to approximate deterministic
+durations arbitrarily well -- at the usual state-space cost, which the
+efficiency benchmark (experiment E10) measures.
+"""
+
+from repro.gtpn.net import PetriNet, Place, Transition, erlang_stages
+from repro.gtpn.discrete import (
+    Deterministic,
+    DiscreteTimedNet,
+    Geometric,
+    Immediate,
+    discrete_coherence_net,
+    solve_discrete,
+    solve_discrete_coherence_speedup,
+)
+from repro.gtpn.reachability import ReachabilityGraph, build_reachability
+from repro.gtpn.markov import solve_steady_state
+from repro.gtpn.measures import SteadyStateMeasures
+from repro.gtpn.models import (
+    coherence_net,
+    coherence_net_detailed,
+    machine_repairman_net,
+    mm1_net,
+    solve_coherence_speedup,
+)
+
+__all__ = [
+    "Deterministic",
+    "DiscreteTimedNet",
+    "Geometric",
+    "Immediate",
+    "PetriNet",
+    "Place",
+    "ReachabilityGraph",
+    "SteadyStateMeasures",
+    "Transition",
+    "build_reachability",
+    "coherence_net",
+    "coherence_net_detailed",
+    "discrete_coherence_net",
+    "erlang_stages",
+    "solve_discrete",
+    "solve_discrete_coherence_speedup",
+    "machine_repairman_net",
+    "mm1_net",
+    "solve_coherence_speedup",
+    "solve_steady_state",
+]

@@ -1,0 +1,354 @@
+"""Discrete-time timed Petri nets with *deterministic* firing times.
+
+This is the semantics of the paper's actual comparator (Holliday &
+Vernon's GTPN): transitions fire a fixed integer number of cycles after
+starting, or complete each cycle with a geometric probability
+(discrete-time memorylessness); conflicts among simultaneously enabled
+transitions resolve probabilistically by weight.  The price of
+determinism is that *remaining firing times are part of the state*, so
+the chain is over (marking, in-flight multiset) pairs -- the state
+space the continuous (exponential) engine of :mod:`repro.gtpn.net`
+avoids, and the reason the paper reports hours of CPU time at ten
+processors.
+
+The implementation enumerates, for each state, the full probability
+tree of one cycle: (1) in-flight work advances one cycle (geometric
+stages branch on completion), finished firings deposit their output
+tokens; (2) newly enabled transitions start, consuming inputs, with
+weighted branching at each conflict.  The stationary distribution of
+the resulting DTMC is solved exactly (scipy sparse), and throughputs
+are expected transition starts per cycle.
+
+Only small nets are tractable -- which is the point (experiment E10).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.sparse import csc_matrix, lil_matrix
+from scipy.sparse.linalg import spsolve
+
+
+@dataclass(frozen=True)
+class Deterministic:
+    """Fixed integer duration in cycles (>= 1)."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 1:
+            raise ValueError("deterministic duration must be >= 1 cycle")
+
+
+@dataclass(frozen=True)
+class Geometric:
+    """Completes each cycle with probability p (mean 1/p cycles)."""
+
+    p: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p <= 1.0:
+            raise ValueError("geometric p must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class Immediate:
+    """Fires in zero time (resolved within the start phase)."""
+
+
+Duration = Deterministic | Geometric | Immediate
+
+
+@dataclass
+class DTransition:
+    tid: int
+    name: str
+    duration: Duration
+    weight: float
+    servers: int | None
+    inputs: dict[int, int] = field(default_factory=dict)
+    outputs: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def immediate(self) -> bool:
+        return isinstance(self.duration, Immediate)
+
+
+#: In-flight entry: (transition id, remaining cycles).  Geometric
+#: firings carry remaining = -1 (memoryless; no countdown needed).
+GEOMETRIC_MARKER = -1
+State = tuple[tuple[int, ...], tuple[tuple[int, int], ...]]
+
+
+class DiscreteTimedNet:
+    """Builder + one-cycle semantics."""
+
+    def __init__(self, name: str = "dnet"):
+        self.name = name
+        self._n_places = 0
+        self._initial: list[int] = []
+        self._place_names: dict[str, int] = {}
+        self.transitions: list[DTransition] = []
+        self._transition_names: dict[str, int] = {}
+
+    def add_place(self, name: str, tokens: int = 0) -> int:
+        if name in self._place_names:
+            raise ValueError(f"duplicate place {name!r}")
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        pid = self._n_places
+        self._n_places += 1
+        self._initial.append(tokens)
+        self._place_names[name] = pid
+        return pid
+
+    def add_transition(self, name: str, duration: Duration,
+                       weight: float = 1.0,
+                       servers: int | None = 1) -> DTransition:
+        if name in self._transition_names:
+            raise ValueError(f"duplicate transition {name!r}")
+        if weight <= 0.0:
+            raise ValueError("weight must be positive")
+        if servers is not None and servers < 1:
+            raise ValueError("servers must be >= 1")
+        t = DTransition(tid=len(self.transitions), name=name,
+                        duration=duration, weight=weight, servers=servers)
+        self.transitions.append(t)
+        self._transition_names[name] = t.tid
+        return t
+
+    def connect(self, place: str | int, transition: DTransition,
+                out: bool = False, multiplicity: int = 1) -> None:
+        pid = (place if isinstance(place, int)
+               else self._place_names[place])
+        arcs = transition.outputs if out else transition.inputs
+        arcs[pid] = arcs.get(pid, 0) + multiplicity
+
+    def transition(self, name: str) -> DTransition:
+        return self.transitions[self._transition_names[name]]
+
+    @property
+    def initial_state(self) -> State:
+        return tuple(self._initial), ()
+
+    # -- one-cycle semantics --------------------------------------------------
+
+    def _active_count(self, t: DTransition, inflight) -> int:
+        return sum(1 for tid, _ in inflight if tid == t.tid)
+
+    def _can_start(self, t: DTransition, marking, inflight) -> bool:
+        if t.servers is not None and self._active_count(t, inflight) >= t.servers:
+            return False
+        return all(marking[p] >= k for p, k in t.inputs.items())
+
+    def _start_phase(self, marking: tuple[int, ...],
+                     inflight: tuple[tuple[int, int], ...],
+                     prob: float, starts: dict[int, float],
+                     out: dict[State, float]) -> None:
+        """Recursively resolve enabled transitions with weighted conflicts."""
+        enabled = [t for t in self.transitions
+                   if self._can_start(t, marking, inflight)]
+        if not enabled:
+            state = (marking, tuple(sorted(inflight)))
+            out[state] = out.get(state, 0.0) + prob
+            return
+        total_weight = sum(t.weight for t in enabled)
+        for t in enabled:
+            p_branch = prob * t.weight / total_weight
+            new_marking = list(marking)
+            for pid, k in t.inputs.items():
+                new_marking[pid] -= k
+            starts[t.tid] = starts.get(t.tid, 0.0) + p_branch
+            if t.immediate:
+                for pid, k in t.outputs.items():
+                    new_marking[pid] += k
+                new_inflight = inflight
+            elif isinstance(t.duration, Deterministic):
+                new_inflight = inflight + ((t.tid, t.duration.cycles),)
+            else:
+                new_inflight = inflight + ((t.tid, GEOMETRIC_MARKER),)
+            self._start_phase(tuple(new_marking), new_inflight,
+                              p_branch, starts, out)
+
+    def step(self, state: State) -> tuple[dict[State, float], dict[int, float]]:
+        """One cycle: returns (successor distribution, expected starts)."""
+        marking, inflight = state
+        # Phase 1: advance deterministic countdowns; branch geometrics.
+        fixed: list[tuple[int, int]] = []
+        completed_now: list[int] = []
+        geometrics: list[int] = []
+        for tid, remaining in inflight:
+            if remaining == GEOMETRIC_MARKER:
+                geometrics.append(tid)
+            elif remaining <= 1:
+                completed_now.append(tid)
+            else:
+                fixed.append((tid, remaining - 1))
+
+        successors: dict[State, float] = {}
+        starts: dict[int, float] = {}
+        for pattern in itertools.product((False, True), repeat=len(geometrics)):
+            p_pattern = 1.0
+            marking_after = list(marking)
+            inflight_after = list(fixed)
+            for tid in completed_now:
+                for pid, k in self.transitions[tid].outputs.items():
+                    marking_after[pid] += k
+            for done, tid in zip(pattern, geometrics):
+                p = self.transitions[tid].duration.p  # type: ignore[union-attr]
+                if done:
+                    p_pattern *= p
+                    for pid, k in self.transitions[tid].outputs.items():
+                        marking_after[pid] += k
+                else:
+                    p_pattern *= 1.0 - p
+                    inflight_after.append((tid, GEOMETRIC_MARKER))
+            if p_pattern <= 0.0:
+                continue
+            # Phase 2: start newly enabled work.
+            self._start_phase(tuple(marking_after), tuple(inflight_after),
+                              p_pattern, starts, successors)
+        return successors, starts
+
+
+def discrete_coherence_net(n_processors: int, inputs) -> DiscreteTimedNet:
+    """The coherence model with the paper's *deterministic* bus times.
+
+    Requires integer ``t_read`` / ``t_bc`` (e.g. a workload with
+    csupply = rep = 0, where t_read is exactly the 8-cycle base); think
+    time is geometric with mean tau + T_supply.  Compare with
+    :func:`repro.gtpn.models.coherence_net`, whose exponential service
+    avoids clocks-in-state at the cost of distribution fidelity.
+    """
+    if n_processors < 1:
+        raise ValueError("n_processors must be >= 1")
+    t_read = inputs.t_read
+    t_bc = inputs.t_bc
+    if abs(t_read - round(t_read)) > 1e-9 or abs(t_bc - round(t_bc)) > 1e-9:
+        raise ValueError(
+            f"deterministic chain needs integer bus times, got "
+            f"t_read={t_read}, t_bc={t_bc}; use a workload with "
+            "csupply = rep = 0")
+    think_mean = inputs.workload.tau + inputs.arch.t_supply
+    if think_mean < 1.0:
+        raise ValueError("tau + t_supply must be >= 1 cycle")
+
+    net = DiscreteTimedNet(f"discrete_coherence_n{n_processors}")
+    net.add_place("think", tokens=n_processors)
+    net.add_place("choose")
+    net.add_place("bus_free", tokens=1)
+    net.add_place("wait_bc")
+    net.add_place("wait_rr")
+
+    issue = net.add_transition("issue", Geometric(1.0 / think_mean),
+                               servers=None)
+    net.connect("think", issue)
+    net.connect("choose", issue, out=True)
+
+    go_local = net.add_transition("go_local", Immediate(),
+                                  weight=max(inputs.p_local, 1e-12))
+    net.connect("choose", go_local)
+    net.connect("think", go_local, out=True)
+    go_bc = net.add_transition("go_bc", Immediate(),
+                               weight=max(inputs.p_bc, 1e-12))
+    net.connect("choose", go_bc)
+    net.connect("wait_bc", go_bc, out=True)
+    go_rr = net.add_transition("go_rr", Immediate(),
+                               weight=max(inputs.p_rr, 1e-12))
+    net.connect("choose", go_rr)
+    net.connect("wait_rr", go_rr, out=True)
+
+    serve_bc = net.add_transition("serve_bc", Deterministic(int(round(t_bc))))
+    net.connect("wait_bc", serve_bc)
+    net.connect("bus_free", serve_bc)
+    net.connect("think", serve_bc, out=True)
+    net.connect("bus_free", serve_bc, out=True)
+
+    serve_rr = net.add_transition("serve_rr", Deterministic(int(round(t_read))))
+    net.connect("wait_rr", serve_rr)
+    net.connect("bus_free", serve_rr)
+    net.connect("think", serve_rr, out=True)
+    net.connect("bus_free", serve_rr, out=True)
+    return net
+
+
+def solve_discrete_coherence_speedup(n_processors: int, inputs,
+                                     max_states: int = 100_000):
+    """Speedup from the deterministic-time chain, plus its state count."""
+    net = discrete_coherence_net(n_processors, inputs)
+    solution = solve_discrete(net, max_states=max_states)
+    throughput = solution.throughput("issue")
+    ideal = inputs.workload.tau + inputs.arch.t_supply
+    cycle = n_processors / throughput if throughput > 0.0 else float("inf")
+    speedup = n_processors * ideal / cycle
+    return speedup, solution.n_states
+
+
+@dataclass(frozen=True)
+class DiscreteSolution:
+    """Stationary solution of the discrete-time chain."""
+
+    n_states: int
+    throughputs: dict[str, float]   # expected starts per cycle, by name
+
+    def throughput(self, name: str) -> float:
+        return self.throughputs.get(name, 0.0)
+
+
+def solve_discrete(net: DiscreteTimedNet,
+                   max_states: int = 100_000) -> DiscreteSolution:
+    """Explore the chain and solve pi P = pi exactly."""
+    index: dict[State, int] = {net.initial_state: 0}
+    states: list[State] = [net.initial_state]
+    rows: list[dict[int, float]] = []
+    start_rows: list[dict[int, float]] = []
+    frontier: deque[int] = deque([0])
+    while frontier:
+        sid = frontier.popleft()
+        successors, starts = net.step(states[sid])
+        row: dict[int, float] = {}
+        for target, prob in successors.items():
+            tid = index.get(target)
+            if tid is None:
+                if len(states) >= max_states:
+                    raise RuntimeError(
+                        f"more than {max_states} discrete states; the "
+                        "deterministic-time chain explodes -- that is the "
+                        "paper's point, but shrink the net to solve it")
+                tid = len(states)
+                index[target] = tid
+                states.append(target)
+                frontier.append(tid)
+            row[tid] = row.get(tid, 0.0) + prob
+        rows.append(row)
+        start_rows.append(starts)
+
+    n = len(states)
+    p = lil_matrix((n, n))
+    for i, row in enumerate(rows):
+        for j, prob in row.items():
+            p[i, j] = prob
+    # Solve pi (P - I) = 0 with the last equation replaced by sum = 1.
+    a = (p.T).tolil()
+    for i in range(n):
+        a[i, i] -= 1.0
+    a[n - 1, :] = 1.0
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+    pi = np.asarray(spsolve(csc_matrix(a), b), dtype=float).ravel()
+    pi[np.abs(pi) < 1e-15] = 0.0
+    if (pi < -1e-9).any():
+        raise RuntimeError("negative stationary probabilities")
+    pi = np.clip(pi, 0.0, None)
+    pi /= pi.sum()
+
+    throughputs: dict[str, float] = {}
+    for t in net.transitions:
+        total = sum(float(pi[i]) * start_rows[i].get(t.tid, 0.0)
+                    for i in range(n))
+        throughputs[t.name] = total
+    return DiscreteSolution(n_states=n, throughputs=throughputs)

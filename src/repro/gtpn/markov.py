@@ -1,0 +1,116 @@
+"""Vanishing-state elimination and CTMC steady-state solution.
+
+The reachability graph mixes tangible markings (exponential sojourn)
+with vanishing markings (zero sojourn).  We first fold vanishing
+markings into direct tangible-to-tangible rates, then solve the
+stationary equations pi Q = 0, sum(pi) = 1 with a sparse direct solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import csc_matrix, lil_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.gtpn.reachability import ReachabilityGraph
+
+
+class VanishingLoopError(RuntimeError):
+    """Raised when immediate transitions form a probability-1 cycle."""
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """Stationary distribution over tangible states.
+
+    ``pi`` is indexed by position in ``tangible_ids`` (the state ids of
+    the reachability graph that are tangible); ``probability_of`` maps
+    back through the graph indices.
+    """
+
+    graph: ReachabilityGraph
+    tangible_ids: tuple[int, ...]
+    pi: np.ndarray
+
+    def probability_of(self, state_id: int) -> float:
+        """Stationary probability of one tangible state id."""
+        try:
+            position = self.tangible_ids.index(state_id)
+        except ValueError:
+            return 0.0  # vanishing states have zero sojourn time
+        return float(self.pi[position])
+
+
+def _absorb_vanishing(graph: ReachabilityGraph, source: int,
+                      max_depth: int = 10_000) -> dict[int, float]:
+    """Probabilities of reaching each tangible state from ``source``
+    through vanishing states only (iterative, cycle-guarded)."""
+    result: dict[int, float] = {}
+    # Stack of (state, probability mass, depth).
+    stack = [(source, 1.0, 0)]
+    while stack:
+        sid, mass, depth = stack.pop()
+        if depth > max_depth:
+            raise VanishingLoopError(
+                "immediate-transition cycle (or extremely deep vanishing "
+                f"chain) detected from state {source}")
+        if graph.tangible[sid]:
+            result[sid] = result.get(sid, 0.0) + mass
+            continue
+        edges = graph.edges[sid]
+        if not edges:
+            # Vanishing deadlock: treat as absorbing tangible-like state.
+            result[sid] = result.get(sid, 0.0) + mass
+            continue
+        for edge in edges:
+            if mass * edge.value > 1e-15:
+                stack.append((edge.target, mass * edge.value, depth + 1))
+    return result
+
+
+def solve_steady_state(graph: ReachabilityGraph) -> SteadyState:
+    """Exact stationary distribution of the embedded CTMC."""
+    tangible_ids = tuple(sid for sid in range(graph.n_states)
+                         if graph.tangible[sid])
+    if not tangible_ids:
+        raise ValueError("no tangible states: the net is purely immediate")
+    position = {sid: k for k, sid in enumerate(tangible_ids)}
+    n = len(tangible_ids)
+
+    q = lil_matrix((n, n))
+    for sid in tangible_ids:
+        i = position[sid]
+        for edge in graph.edges[sid]:
+            rate = edge.value
+            targets = ({edge.target: 1.0} if graph.tangible[edge.target]
+                       else _absorb_vanishing(graph, edge.target))
+            for target_sid, prob in targets.items():
+                if target_sid not in position:
+                    # Reached a vanishing deadlock; treat as a sink by
+                    # ignoring (mass conservation is checked by tests on
+                    # well-formed nets).
+                    continue
+                j = position[target_sid]
+                q[i, j] += rate * prob
+            q[i, i] -= rate
+
+    # Replace one balance equation with the normalization sum(pi) = 1.
+    # Solve Q^T pi = 0 with the last row forced to ones.
+    a = csc_matrix(q.T)
+    a = a.tolil()
+    a[n - 1, :] = 1.0
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+    pi = spsolve(csc_matrix(a), b)
+    pi = np.asarray(pi, dtype=float).ravel()
+    # Clean tiny negatives from the direct solve.
+    pi[pi < 0.0] = np.where(pi[pi < 0.0] > -1e-9, 0.0, pi[pi < 0.0])
+    if (pi < 0.0).any():
+        raise RuntimeError("stationary solve produced negative probabilities")
+    total = pi.sum()
+    if not np.isfinite(total) or total <= 0.0:
+        raise RuntimeError("stationary solve failed to normalize")
+    pi /= total
+    return SteadyState(graph=graph, tangible_ids=tangible_ids, pi=pi)

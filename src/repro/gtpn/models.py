@@ -1,0 +1,300 @@
+"""Ready-made nets: textbook oracles plus a reduced coherence model.
+
+The coherence net is the GTPN-style detailed comparator for *small* N:
+it resolves every request through a probabilistic choice (immediate
+transitions weighted by p_local / p_bc / p_rr), queues bus transactions
+at a single-server bus, and routes broadcast transactions through a
+memory-module stage.  Exponential (or Erlang-staged) service stands in
+for the paper's deterministic firing times; experiment E10 shows how
+the state space -- and hence solution cost -- explodes with N and with
+the Erlang stage count, which is exactly the phenomenon that motivated
+the paper's MVA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gtpn.markov import solve_steady_state
+from repro.gtpn.measures import SteadyStateMeasures
+from repro.gtpn.net import PetriNet, erlang_stages
+from repro.gtpn.reachability import build_reachability
+from repro.workload.derived import DerivedInputs
+
+
+def mm1_net(arrival_rate: float, service_rate: float,
+            capacity: int) -> PetriNet:
+    """An M/M/1/c queue: Poisson source, exponential server, finite room."""
+    net = PetriNet("mm1")
+    queue = net.add_place("queue", tokens=0)
+    room = net.add_place("room", tokens=capacity)
+    arrive = net.add_transition("arrive", rate=arrival_rate)
+    serve = net.add_transition("serve", rate=service_rate)
+    net.connect(room, arrive)
+    net.connect(arrive, queue)
+    net.connect(queue, serve)
+    net.connect(serve, room)
+    return net
+
+
+def machine_repairman_net(n_machines: int, think_rate: float,
+                          service_rate: float) -> PetriNet:
+    """The interactive-system (machine repairman) model: N thinking
+    customers, one exponential server."""
+    net = PetriNet("repairman")
+    thinking = net.add_place("thinking", tokens=n_machines)
+    waiting = net.add_place("waiting", tokens=0)
+    fail = net.add_transition("fail", rate=think_rate, servers=None)
+    repair = net.add_transition("repair", rate=service_rate, servers=1)
+    net.connect(thinking, fail)
+    net.connect(fail, waiting)
+    net.connect(waiting, repair)
+    net.connect(repair, thinking)
+    return net
+
+
+def coherence_net(n_processors: int, inputs: DerivedInputs,
+                  erlang: int = 1) -> PetriNet:
+    """A reduced coherence GTPN for the paper's workload.
+
+    Structure per request cycle: THINK --(rate 1/(tau+T_supply),
+    infinite server)--> CHOOSE --(immediate, weights p_local/p_bc/
+    p_rr)--> either back to THINK (local), through the broadcast bus
+    stage, or through the remote-read bus stage.  The bus is a single
+    server shared by both stages; ``erlang`` > 1 sharpens the service
+    stages towards the deterministic durations of the true GTPN.
+
+    Cache interference is not represented (it is second-order for the
+    Appendix-A workloads); the comparison harness accounts for that.
+    """
+    if n_processors < 1:
+        raise ValueError("n_processors must be >= 1")
+    w = inputs.workload
+    think_time = w.tau + inputs.arch.t_supply
+    if think_time <= 0.0:
+        raise ValueError("tau + t_supply must be positive for the GTPN model")
+
+    net = PetriNet(f"coherence_n{n_processors}")
+    think = net.add_place("think", tokens=n_processors)
+    choose = net.add_place("choose")
+    bus_free = net.add_place("bus_free", tokens=1)
+    wait_bc = net.add_place("wait_bc")
+    wait_rr = net.add_place("wait_rr")
+    done_bc = net.add_place("done_bc")
+    done_rr = net.add_place("done_rr")
+
+    issue = net.add_transition("issue", rate=1.0 / think_time, servers=None)
+    net.connect(think, issue)
+    net.connect(issue, choose)
+
+    go_local = net.add_transition("go_local", weight=max(inputs.p_local, 1e-12))
+    net.connect(choose, go_local)
+    net.connect(go_local, think)
+
+    go_bc = net.add_transition("go_bc", weight=max(inputs.p_bc, 1e-12))
+    net.connect(choose, go_bc)
+    net.connect(go_bc, wait_bc)
+
+    go_rr = net.add_transition("go_rr", weight=max(inputs.p_rr, 1e-12))
+    net.connect(choose, go_rr)
+    net.connect(go_rr, wait_rr)
+
+    # Bus service: acquire the bus token, hold it through the (possibly
+    # Erlang-staged) service, release on completion.
+    grant_bc = net.add_transition("grant_bc", weight=1.0)
+    net.connect(wait_bc, grant_bc)
+    net.connect(bus_free, grant_bc)
+    busy_bc = net.add_place("busy_bc")
+    net.connect(grant_bc, busy_bc)
+    # Mean broadcast bus holding: the write-word / invalidate cycle.  The
+    # module wait the MVA folds into w_mem is second-order and, like
+    # cache interference, is not represented in the reduced net.
+    bc_hold = inputs.t_bc
+    erlang_stages(net, "serve_bc", busy_bc, done_bc, bc_hold, erlang)
+    release_bc = net.add_transition("release_bc", weight=1.0)
+    net.connect(done_bc, release_bc)
+    net.connect(release_bc, think)
+    net.connect(release_bc, bus_free)
+
+    grant_rr = net.add_transition("grant_rr", weight=1.0)
+    net.connect(wait_rr, grant_rr)
+    net.connect(bus_free, grant_rr)
+    busy_rr = net.add_place("busy_rr")
+    net.connect(grant_rr, busy_rr)
+    erlang_stages(net, "serve_rr", busy_rr, done_rr, inputs.t_read, erlang)
+    release_rr = net.add_transition("release_rr", weight=1.0)
+    net.connect(done_rr, release_rr)
+    net.connect(release_rr, think)
+    net.connect(release_rr, bus_free)
+    return net
+
+
+def coherence_net_detailed(n_processors: int, inputs: DerivedInputs,
+                           erlang: int = 1) -> PetriNet:
+    """A richer coherence net: memory-module contention and remote-read
+    branching.
+
+    Extends :func:`coherence_net` with the two mechanisms the reduced
+    net abstracts away:
+
+    * broadcasts that update memory must first acquire one of the m
+      module tokens and hold the bus while none is free -- the Petri
+      analogue of equation (7)'s w_mem nesting (module recovery is a
+      timed transition of mean d_mem);
+    * remote reads split into explicit branches -- supplier-flush vs
+      plain memory read, each with or without a replacement write-back
+      -- with the exact per-branch durations, so the service-time
+      *variance* the mean-value model discards is represented.
+
+    The price is the state space: typically several times the reduced
+    net's, which is the paper's cost story (experiment E10/X5).
+    """
+    if n_processors < 1:
+        raise ValueError("n_processors must be >= 1")
+    w = inputs.workload
+    arch = inputs.arch
+    think_time = w.tau + arch.t_supply
+    if think_time <= 0.0:
+        raise ValueError("tau + t_supply must be positive for the GTPN model")
+
+    net = PetriNet(f"coherence_detailed_n{n_processors}")
+    think = net.add_place("think", tokens=n_processors)
+    choose = net.add_place("choose")
+    bus_free = net.add_place("bus_free", tokens=1)
+    mem_free = net.add_place("mem_free", tokens=arch.memory_modules)
+
+    issue = net.add_transition("issue", rate=1.0 / think_time, servers=None)
+    net.connect(think, issue)
+    net.connect(issue, choose)
+
+    go_local = net.add_transition("go_local", weight=max(inputs.p_local, 1e-12))
+    net.connect(choose, go_local)
+    net.connect(go_local, think)
+
+    # --- broadcast stage ---------------------------------------------------
+    wait_bc = net.add_place("wait_bc")
+    go_bc = net.add_transition("go_bc", weight=max(inputs.p_bc, 1e-12))
+    net.connect(choose, go_bc)
+    net.connect(go_bc, wait_bc)
+    grant_bc = net.add_transition("grant_bc", weight=1.0)
+    net.connect(wait_bc, grant_bc)
+    net.connect(bus_free, grant_bc)
+    if inputs.bc_updates_memory:
+        # Hold the bus until a module token is available.
+        bc_need_mem = net.add_place("bc_need_mem")
+        net.connect(grant_bc, bc_need_mem)
+        acquire = net.add_transition("bc_acquire_mem", weight=1.0)
+        net.connect(bc_need_mem, acquire)
+        net.connect(mem_free, acquire)
+        bc_busy = net.add_place("bc_busy")
+        net.connect(acquire, bc_busy)
+        done_bc = net.add_place("done_bc")
+        erlang_stages(net, "serve_bc", bc_busy, done_bc, inputs.t_bc, erlang)
+        release_bc = net.add_transition("release_bc", weight=1.0)
+        net.connect(done_bc, release_bc)
+        net.connect(release_bc, think)
+        net.connect(release_bc, bus_free)
+        # The module drains for d_mem after the bus moves on.
+        mem_busy = net.add_place("mem_busy")
+        net.connect(release_bc, mem_busy)
+        recover = net.add_transition("mem_recover",
+                                     rate=1.0 / arch.memory_latency,
+                                     servers=None)
+        net.connect(mem_busy, recover)
+        net.connect(recover, mem_free)
+    else:
+        bc_busy = net.add_place("bc_busy")
+        net.connect(grant_bc, bc_busy)
+        done_bc = net.add_place("done_bc")
+        erlang_stages(net, "serve_bc", bc_busy, done_bc, inputs.t_bc, erlang)
+        release_bc = net.add_transition("release_bc", weight=1.0)
+        net.connect(done_bc, release_bc)
+        net.connect(release_bc, think)
+        net.connect(release_bc, bus_free)
+
+    # --- remote-read stage with explicit branches ----------------------------
+    wait_rr = net.add_place("wait_rr")
+    go_rr = net.add_transition("go_rr", weight=max(inputs.p_rr, 1e-12))
+    net.connect(choose, go_rr)
+    net.connect(go_rr, wait_rr)
+    granted_rr = net.add_place("granted_rr")
+    grant_rr = net.add_transition("grant_rr", weight=1.0)
+    net.connect(wait_rr, grant_rr)
+    net.connect(bus_free, grant_rr)
+    net.connect(grant_rr, granted_rr)
+
+    t_block = arch.block_transfer_cycles
+    p_flush = inputs.p_csupwb_rr
+    if 2 in inputs.mods:
+        p_direct = inputs.p_csup_rr * w.wb_csupply
+        base_main, base_alt, p_alt = (arch.base_read_cycles,
+                                      arch.cache_supply_cycles, p_direct)
+    else:
+        base_main, base_alt, p_alt = (arch.base_read_cycles,
+                                      arch.base_read_cycles + t_block,
+                                      p_flush)
+    branches = [
+        ("rr_plain", (1.0 - p_alt) * (1.0 - inputs.p_reqwb_rr), base_main),
+        ("rr_plain_wb", (1.0 - p_alt) * inputs.p_reqwb_rr,
+         base_main + t_block),
+        ("rr_alt", p_alt * (1.0 - inputs.p_reqwb_rr), base_alt),
+        ("rr_alt_wb", p_alt * inputs.p_reqwb_rr, base_alt + t_block),
+    ]
+    done_rr = net.add_place("done_rr")
+    for name, weight, duration in branches:
+        if weight <= 0.0 or duration <= 0.0:
+            continue
+        stage = net.add_place(f"{name}_busy")
+        pick = net.add_transition(f"{name}_pick", weight=max(weight, 1e-12))
+        net.connect(granted_rr, pick)
+        net.connect(pick, stage)
+        erlang_stages(net, f"{name}_serve", stage, done_rr, duration, erlang)
+    release_rr = net.add_transition("release_rr", weight=1.0)
+    net.connect(done_rr, release_rr)
+    net.connect(release_rr, think)
+    net.connect(release_rr, bus_free)
+    return net
+
+
+@dataclass(frozen=True)
+class CoherenceSolution:
+    """Speedup and diagnostics from the exact coherence-net solution."""
+
+    n_processors: int
+    speedup: float
+    cycle_time: float
+    bus_utilization: float
+    n_states: int
+    n_tangible: int
+
+
+def solve_coherence_speedup(n_processors: int, inputs: DerivedInputs,
+                            erlang: int = 1,
+                            max_states: int = 200_000,
+                            detailed: bool = False) -> CoherenceSolution:
+    """Build, explore and exactly solve the coherence net; report speedup.
+
+    Speedup uses the paper's formula N (tau + T_supply) / R with R from
+    Little's law on the issue transition's throughput.  ``detailed``
+    selects :func:`coherence_net_detailed` (memory contention + branch
+    variance) at its larger state-space cost.
+    """
+    build = coherence_net_detailed if detailed else coherence_net
+    net = build(n_processors, inputs, erlang=erlang)
+    graph = build_reachability(net, max_states=max_states)
+    steady = solve_steady_state(graph)
+    measures = SteadyStateMeasures(steady)
+    throughput = measures.throughput(net.transition("issue"))
+    w = inputs.workload
+    ideal = w.tau + inputs.arch.t_supply
+    cycle = n_processors / throughput if throughput > 0.0 else float("inf")
+    speedup = n_processors * ideal / cycle
+    bus_util = 1.0 - measures.utilization(net.place("bus_free"))
+    return CoherenceSolution(
+        n_processors=n_processors,
+        speedup=speedup,
+        cycle_time=cycle,
+        bus_utilization=bus_util,
+        n_states=graph.n_states,
+        n_tangible=graph.n_tangible,
+    )

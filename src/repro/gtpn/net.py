@@ -1,0 +1,204 @@
+"""Petri-net structure: places, transitions, arcs, markings.
+
+Markings are tuples of token counts indexed by place id, so they are
+hashable and usable as Markov-chain state keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Place:
+    """A token container."""
+
+    pid: int
+    name: str
+
+
+@dataclass(frozen=True)
+class Transition:
+    """An immediate or timed transition.
+
+    ``rate`` (timed) is the exponential firing rate per active server;
+    ``weight`` (immediate) resolves probabilistic conflicts among
+    simultaneously enabled immediate transitions.  ``servers`` bounds
+    the number of concurrent firings counted into the effective rate:
+    1 = single server, None = infinite server (rate scales with the
+    enabling degree).
+    """
+
+    tid: int
+    name: str
+    rate: float | None = None
+    weight: float = 1.0
+    servers: int | None = 1
+
+    @property
+    def immediate(self) -> bool:
+        return self.rate is None
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and self.rate <= 0.0:
+            raise ValueError(f"timed transition {self.name!r} needs rate > 0")
+        if self.weight <= 0.0:
+            raise ValueError(f"transition {self.name!r} needs weight > 0")
+        if self.servers is not None and self.servers < 1:
+            raise ValueError(f"transition {self.name!r} needs servers >= 1")
+
+
+Marking = tuple[int, ...]
+
+
+@dataclass
+class _Arcs:
+    inputs: dict[int, int] = field(default_factory=dict)      # place -> multiplicity
+    outputs: dict[int, int] = field(default_factory=dict)
+    inhibitors: dict[int, int] = field(default_factory=dict)  # place -> threshold
+
+
+class PetriNet:
+    """A mutable net builder with immutable query semantics once built."""
+
+    def __init__(self, name: str = "net"):
+        self.name = name
+        self.places: list[Place] = []
+        self.transitions: list[Transition] = []
+        self._arcs: list[_Arcs] = []
+        self._initial: list[int] = []
+        self._place_index: dict[str, int] = {}
+        self._transition_index: dict[str, int] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_place(self, name: str, tokens: int = 0) -> Place:
+        if name in self._place_index:
+            raise ValueError(f"duplicate place name {name!r}")
+        if tokens < 0:
+            raise ValueError("initial tokens must be non-negative")
+        place = Place(pid=len(self.places), name=name)
+        self.places.append(place)
+        self._initial.append(tokens)
+        self._place_index[name] = place.pid
+        return place
+
+    def add_transition(self, name: str, rate: float | None = None,
+                       weight: float = 1.0,
+                       servers: int | None = 1) -> Transition:
+        if name in self._transition_index:
+            raise ValueError(f"duplicate transition name {name!r}")
+        transition = Transition(tid=len(self.transitions), name=name,
+                                rate=rate, weight=weight, servers=servers)
+        self.transitions.append(transition)
+        self._arcs.append(_Arcs())
+        self._transition_index[name] = transition.tid
+        return transition
+
+    def connect(self, source: Place | Transition,
+                target: Place | Transition, multiplicity: int = 1) -> None:
+        """Add an arc place->transition (input) or transition->place (output)."""
+        if multiplicity < 1:
+            raise ValueError("arc multiplicity must be >= 1")
+        if isinstance(source, Place) and isinstance(target, Transition):
+            arcs = self._arcs[target.tid]
+            arcs.inputs[source.pid] = arcs.inputs.get(source.pid, 0) + multiplicity
+        elif isinstance(source, Transition) and isinstance(target, Place):
+            arcs = self._arcs[source.tid]
+            arcs.outputs[target.pid] = arcs.outputs.get(target.pid, 0) + multiplicity
+        else:
+            raise TypeError("arcs connect a place and a transition")
+
+    def inhibit(self, place: Place, transition: Transition,
+                threshold: int = 1) -> None:
+        """Inhibitor arc: transition disabled when tokens(place) >= threshold."""
+        if threshold < 1:
+            raise ValueError("inhibitor threshold must be >= 1")
+        self._arcs[transition.tid].inhibitors[place.pid] = threshold
+
+    # -- lookup --------------------------------------------------------------
+
+    def place(self, name: str) -> Place:
+        return self.places[self._place_index[name]]
+
+    def transition(self, name: str) -> Transition:
+        return self.transitions[self._transition_index[name]]
+
+    @property
+    def initial_marking(self) -> Marking:
+        return tuple(self._initial)
+
+    # -- semantics ------------------------------------------------------------
+
+    def enabling_degree(self, transition: Transition, marking: Marking) -> int:
+        """How many times the transition could fire concurrently."""
+        arcs = self._arcs[transition.tid]
+        for pid, threshold in arcs.inhibitors.items():
+            if marking[pid] >= threshold:
+                return 0
+        if not arcs.inputs:
+            return 0 if arcs.inhibitors else 1
+        degree = min(marking[pid] // mult for pid, mult in arcs.inputs.items())
+        return degree
+
+    def is_enabled(self, transition: Transition, marking: Marking) -> bool:
+        return self.enabling_degree(transition, marking) > 0
+
+    def effective_rate(self, transition: Transition, marking: Marking) -> float:
+        """Rate x min(enabling degree, servers) for timed transitions."""
+        if transition.immediate:
+            raise ValueError("immediate transitions have no rate")
+        degree = self.enabling_degree(transition, marking)
+        if degree == 0:
+            return 0.0
+        if transition.servers is not None:
+            degree = min(degree, transition.servers)
+        assert transition.rate is not None
+        return transition.rate * degree
+
+    def fire(self, transition: Transition, marking: Marking) -> Marking:
+        """The marking after one firing."""
+        if not self.is_enabled(transition, marking):
+            raise ValueError(f"{transition.name!r} not enabled in {marking}")
+        arcs = self._arcs[transition.tid]
+        next_marking = list(marking)
+        for pid, mult in arcs.inputs.items():
+            next_marking[pid] -= mult
+        for pid, mult in arcs.outputs.items():
+            next_marking[pid] += mult
+        return tuple(next_marking)
+
+    def enabled_transitions(self, marking: Marking) -> list[Transition]:
+        return [t for t in self.transitions if self.is_enabled(t, marking)]
+
+    def total_tokens(self, marking: Marking) -> int:
+        return sum(marking)
+
+
+def erlang_stages(net: PetriNet, name: str, source: Place, target: Place,
+                  mean_time: float, stages: int,
+                  servers: int | None = 1) -> list[Transition]:
+    """Approximate a deterministic delay by an Erlang-k chain of places.
+
+    Moves tokens from ``source`` to ``target`` through ``stages``
+    exponential stages whose total mean is ``mean_time``; the squared
+    coefficient of variation is 1/stages, so large k approaches the
+    deterministic firing times of the original GTPN -- at the cost of
+    k-1 extra places per delay, which is where the state space explodes.
+    """
+    if stages < 1:
+        raise ValueError("stages must be >= 1")
+    if mean_time <= 0.0:
+        raise ValueError("mean_time must be positive")
+    rate = stages / mean_time
+    transitions = []
+    previous = source
+    for k in range(stages):
+        is_last = k == stages - 1
+        nxt = target if is_last else net.add_place(f"{name}_stage{k + 1}")
+        t = net.add_transition(f"{name}_t{k + 1}", rate=rate, servers=servers)
+        net.connect(previous, t)
+        net.connect(t, nxt)
+        transitions.append(t)
+        previous = nxt
+    return transitions

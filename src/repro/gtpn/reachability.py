@@ -1,0 +1,120 @@
+"""Reachability-graph construction.
+
+States are markings; edges carry either an exponential rate (from a
+*tangible* marking, where only timed transitions are enabled) or a
+probability (from a *vanishing* marking, where immediate transitions
+fire in zero time and win any race).  The graph size is the cost the
+paper complains about: it "increases exponentially with the number of
+processors analyzed" (Section 3.2), which experiment E10 measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.gtpn.net import Marking, PetriNet, Transition
+
+
+class StateSpaceExplosion(RuntimeError):
+    """Raised when exploration exceeds the configured state budget."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One transition firing: source/target are state indices."""
+
+    source: int
+    target: int
+    transition: Transition
+    #: Exponential rate (tangible source) or probability (vanishing source).
+    value: float
+
+
+@dataclass
+class ReachabilityGraph:
+    """The explored state space of a net."""
+
+    net: PetriNet
+    states: list[Marking] = field(default_factory=list)
+    index: dict[Marking, int] = field(default_factory=dict)
+    edges: list[list[Edge]] = field(default_factory=list)
+    tangible: list[bool] = field(default_factory=list)
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def n_tangible(self) -> int:
+        return sum(self.tangible)
+
+    @property
+    def n_vanishing(self) -> int:
+        return len(self.states) - self.n_tangible
+
+    def state_id(self, marking: Marking) -> int:
+        return self.index[marking]
+
+
+def build_reachability(net: PetriNet, max_states: int = 200_000) -> ReachabilityGraph:
+    """Breadth-first exploration from the initial marking.
+
+    Immediate transitions dominate: in a marking where any immediate
+    transition is enabled (a vanishing marking), timed transitions do
+    not compete, and the enabled immediate transitions fire with
+    probability proportional to their weights.  Deadlocked markings
+    (no enabled transitions) are permitted and become absorbing.
+    """
+    graph = ReachabilityGraph(net=net)
+    initial = net.initial_marking
+    graph.states.append(initial)
+    graph.index[initial] = 0
+    graph.edges.append([])
+    graph.tangible.append(True)  # provisional; fixed below
+    frontier: deque[int] = deque([0])
+
+    while frontier:
+        sid = frontier.popleft()
+        marking = graph.states[sid]
+        enabled = net.enabled_transitions(marking)
+        immediates = [t for t in enabled if t.immediate]
+        if immediates:
+            graph.tangible[sid] = False
+            total_weight = sum(t.weight for t in immediates)
+            for t in immediates:
+                target = net.fire(t, marking)
+                tid = _intern(graph, target, frontier, max_states)
+                graph.edges[sid].append(Edge(
+                    source=sid, target=tid, transition=t,
+                    value=t.weight / total_weight))
+        else:
+            graph.tangible[sid] = True
+            for t in enabled:
+                rate = net.effective_rate(t, marking)
+                if rate <= 0.0:
+                    continue
+                target = net.fire(t, marking)
+                tid = _intern(graph, target, frontier, max_states)
+                graph.edges[sid].append(Edge(
+                    source=sid, target=tid, transition=t, value=rate))
+    return graph
+
+
+def _intern(graph: ReachabilityGraph, marking: Marking,
+            frontier: deque[int], max_states: int) -> int:
+    """Index a marking, enqueueing it for exploration if new."""
+    existing = graph.index.get(marking)
+    if existing is not None:
+        return existing
+    if len(graph.states) >= max_states:
+        raise StateSpaceExplosion(
+            f"more than {max_states} reachable markings for net "
+            f"{graph.net.name!r}; raise max_states or shrink the model")
+    sid = len(graph.states)
+    graph.states.append(marking)
+    graph.index[marking] = sid
+    graph.edges.append([])
+    graph.tangible.append(True)
+    frontier.append(sid)
+    return sid

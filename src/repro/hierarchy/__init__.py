@@ -1,0 +1,27 @@
+"""Hierarchical-bus extension of the customized MVA.
+
+The paper closes: "the approach is certainly applicable to the
+performance analysis of larger and more complex cache-coherent
+multiprocessors [Wils87, GoWo87]" -- Wilson's hierarchical cache/bus
+architecture being the canonical example.  This package builds that
+extension in the same customized-MVA style: C clusters of K processors,
+each cluster on its own snooping bus, all clusters joined by a global
+bus that fronts main memory.
+
+Transactions that can be satisfied inside the cluster (an in-cluster
+cache supplies the block, or a broadcast's sharers are cluster-local)
+occupy only the local bus; everything else holds the local bus *through*
+a nested global-bus transaction, exactly the way the flat model's
+broadcasts hold the bus through the memory-module wait (equation 7).
+
+See :class:`HierarchyParams` and :class:`HierarchicalMVAModel`.
+"""
+
+from repro.hierarchy.params import HierarchyParams
+from repro.hierarchy.model import HierarchicalMVAModel, HierarchicalReport
+
+__all__ = [
+    "HierarchicalMVAModel",
+    "HierarchicalReport",
+    "HierarchyParams",
+]

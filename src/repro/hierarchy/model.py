@@ -1,0 +1,250 @@
+"""Customized mean-value equations for the two-level bus hierarchy.
+
+The structure mirrors the flat model (repro.core.equations) with one
+extra nested resource.  Per memory request:
+
+* local cache hits pay only cache interference (within the cluster);
+* a broadcast occupies the *local* bus; if it must reach other clusters
+  or memory it holds the local bus through a nested global transaction
+  (global wait + global occupancy), the same nesting the flat model
+  uses for the memory module in equation (7);
+* a remote read likewise stays cluster-local when an in-cluster cache
+  supplies the block, and otherwise escalates.
+
+Escape probabilities come from the workload's cache-supply parameters
+and the hierarchy's ``cluster_locality``:
+
+* read escape: the block comes from memory (always global) unless some
+  cache supplies it AND the supplier is in-cluster;
+* broadcast escape: memory-updating broadcasts always escape; pure
+  invalidations/updates stay local when the sharers are in-cluster.
+
+Waiting times at each bus use the equation (5)-(10) machinery with the
+appropriate customer population: K-1 cache peers for the local bus,
+N-1 for the global bus.  The fixed point iterates (w_local, w_global,
+w_mem) from a cold start, exactly like the flat solver.
+
+With clusters = 1 nothing escapes and the global bus is unused; the
+model then *equals the flat model* (asserted by the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.equations import _p_busy
+from repro.core.metrics import ResponseBreakdown
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.derived import DerivedInputs, derive_inputs
+from repro.workload.parameters import ArchitectureParams, WorkloadParameters
+from repro.hierarchy.params import HierarchyParams
+
+
+@dataclass(frozen=True)
+class HierarchicalReport:
+    """Performance measures for one hierarchy solution."""
+
+    params: HierarchyParams
+    protocol_label: str
+    response: ResponseBreakdown
+    w_local_bus: float
+    w_global_bus: float
+    w_mem: float
+    u_local_bus: float
+    u_global_bus: float
+    u_mem: float
+    p_read_escape: float
+    p_bc_escape: float
+    iterations: int
+    converged: bool
+
+    @property
+    def cycle_time(self) -> float:
+        return self.response.total
+
+    @property
+    def n_processors(self) -> int:
+        return self.params.n_processors
+
+    @property
+    def speedup(self) -> float:
+        r = self.response
+        return self.n_processors * (r.tau + r.t_supply) / r.total
+
+    @property
+    def processing_power(self) -> float:
+        return self.n_processors * self.response.tau / self.response.total
+
+
+class HierarchicalMVAModel:
+    """Two-level-bus multiprocessor in the paper's customized-MVA style."""
+
+    def __init__(
+        self,
+        workload: WorkloadParameters,
+        hierarchy: HierarchyParams,
+        protocol: ProtocolSpec | None = None,
+        arch: ArchitectureParams | None = None,
+        tolerance: float = 1e-9,
+        max_iterations: int = 500,
+    ):
+        self.protocol = protocol if protocol is not None else ProtocolSpec()
+        self.workload = self.protocol.adjust_workload(workload)
+        self.arch = arch if arch is not None else ArchitectureParams()
+        self.hierarchy = hierarchy
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+        self.inputs: DerivedInputs = derive_inputs(
+            self.workload, self.arch, self.protocol.mod_numbers)
+        self._escapes = self._escape_probabilities()
+
+    # -- derived routing ----------------------------------------------------
+
+    def _escape_probabilities(self) -> tuple[float, float]:
+        """(p_read_escape, p_bc_escape)."""
+        if self.hierarchy.is_flat:
+            return 0.0, 0.0
+        theta = self.hierarchy.cluster_locality
+        # Reads: satisfied in-cluster when a peer cache supplies the
+        # block and that supplier is local, or, failing that, when the
+        # cluster-level cache holds it (Wilson's scaling mechanism).
+        peer_local = self.inputs.p_csup_rr * theta
+        p_read_escape = ((1.0 - peer_local)
+                         * (1.0 - self.hierarchy.cluster_cache_hit))
+        # Broadcasts: memory updates must reach the (global) memory;
+        # invalidates stay local when the sharers are local.
+        p_bc_escape = 1.0 if self.inputs.bc_updates_memory else 1.0 - theta
+        return p_read_escape, p_bc_escape
+
+    @property
+    def p_read_escape(self) -> float:
+        return self._escapes[0]
+
+    @property
+    def p_bc_escape(self) -> float:
+        return self._escapes[1]
+
+    # -- the fixed point ------------------------------------------------------
+
+    def solve(self) -> HierarchicalReport:
+        inp = self.inputs
+        hier = self.hierarchy
+        n = hier.n_processors
+        k = hier.per_cluster
+        overhead = hier.global_overhead_cycles
+        p_re, p_be = self._escapes
+        interference = inp.cache_interference(k)
+
+        w_lb = w_gb = w_mem = q_lb = 0.0
+        r_total = 0.0
+        iterations = 0
+        converged = False
+        response = None
+        for iterations in range(1, self.max_iterations + 1):
+            # Global occupancy of escaping transactions.
+            g_bc = inp.t_bc + overhead + w_mem
+            g_rr = inp.t_read + overhead
+            # Local-bus occupancy.  Local-only ops use the flat service
+            # time; an escaping op crosses the local bus too (address +
+            # transfer + repeat overhead).  With split transactions the
+            # local bus is released during the global phase; otherwise
+            # it is held through it, the way the flat model's broadcasts
+            # hold the bus through the memory wait.  Memory (w_mem)
+            # nests in the local broadcast only in the flat case, where
+            # it hangs off the single bus.
+            if hier.is_flat:
+                l_bc = inp.t_bc + w_mem
+                l_rr = inp.t_read
+                esc_bc = esc_rr = 0.0
+            else:
+                cross_bc = inp.t_bc + overhead
+                cross_rr = self.arch.cache_supply_cycles + overhead
+                l_bc = (1.0 - p_be) * inp.t_bc + p_be * cross_bc
+                l_rr = ((1.0 - p_re) * self.arch.cache_supply_cycles
+                        + p_re * cross_rr)
+                esc_bc = p_be * (w_gb + g_bc)
+                esc_rr = p_re * (w_gb + g_rr)
+                if not hier.split_transactions:
+                    l_bc += esc_bc
+                    l_rr += esc_rr
+                    esc_bc = esc_rr = 0.0
+
+            # Response times (equations 1-4 analog).
+            n_int = interference.n_interference(q_lb)
+            r_local = inp.p_local * n_int * interference.t_interference
+            r_bc = inp.p_bc * (w_lb + l_bc + esc_bc)
+            r_rr = inp.p_rr * (w_lb + l_rr + esc_rr)
+            response = ResponseBreakdown(
+                tau=self.workload.tau, r_local=r_local, r_broadcast=r_bc,
+                r_remote_read=r_rr, t_supply=self.arch.t_supply)
+            new_r = response.total
+
+            # Local bus (population: the K caches of one cluster).
+            local_demand = inp.p_bc * l_bc + inp.p_rr * l_rr
+            u_lb = k * local_demand / new_r
+            q_new = (k - 1) * (r_bc + r_rr) / new_r
+            w_lb_new = self._bus_wait(
+                q_new, u_lb, k,
+                [(inp.p_bc, l_bc), (inp.p_rr, l_rr)])
+
+            # Global bus (population: all N caches).
+            if hier.is_flat:
+                u_gb = 0.0
+                w_gb_new = 0.0
+            else:
+                global_demand = (inp.p_bc * p_be * g_bc
+                                 + inp.p_rr * p_re * g_rr)
+                u_gb = n * global_demand / new_r
+                q_gb = (n - 1) * (inp.p_bc * p_be * (w_gb + g_bc)
+                                  + inp.p_rr * p_re * (w_gb + g_rr)) / new_r
+                w_gb_new = self._bus_wait(
+                    q_gb, u_gb, n,
+                    [(inp.p_bc * p_be, g_bc), (inp.p_rr * p_re, g_rr)])
+
+            # Memory modules (equation 11-12 analog; all N processors).
+            d_mem = self.arch.memory_latency
+            u_mem = (n / self.arch.memory_modules
+                     * inp.memory_ops_per_request() * d_mem / new_r)
+            w_mem_new = _p_busy(u_mem, n) * d_mem / 2.0
+
+            delta = max(abs(w_lb_new - w_lb), abs(w_gb_new - w_gb),
+                        abs(w_mem_new - w_mem), abs(q_new - q_lb))
+            w_lb, w_gb, w_mem, q_lb, r_total = (
+                w_lb_new, w_gb_new, w_mem_new, q_new, new_r)
+            if delta < self.tolerance:
+                converged = True
+                break
+
+        assert response is not None
+        return HierarchicalReport(
+            params=hier,
+            protocol_label=self.protocol.label,
+            response=response,
+            w_local_bus=w_lb,
+            w_global_bus=w_gb,
+            w_mem=w_mem,
+            u_local_bus=min(u_lb, 1.0),
+            u_global_bus=min(u_gb, 1.0),
+            u_mem=min(u_mem, 1.0),
+            p_read_escape=p_re,
+            p_bc_escape=p_be,
+            iterations=iterations,
+            converged=converged,
+        )
+
+    @staticmethod
+    def _bus_wait(q_seen: float, utilization: float, population: int,
+                  classes: list[tuple[float, float]]) -> float:
+        """Equations (5)/(8)/(9)/(10) for one bus with per-class
+        (probability, occupancy) pairs."""
+        busy_mass = sum(p * t for p, t in classes)
+        if busy_mass <= 0.0:
+            return 0.0
+        prob_mass = sum(p for p, _ in classes)
+        t_bus = sum(p * t for p, t in classes) / prob_mass
+        t_res = sum((p * t / busy_mass) * (t / 2.0) for p, t in classes)
+        p_busy = _p_busy(utilization, population)
+        return max(q_seen - p_busy, 0.0) * t_bus + p_busy * t_res
+
+    def speedup(self) -> float:
+        return self.solve().speedup

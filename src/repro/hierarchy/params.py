@@ -1,0 +1,79 @@
+"""Configuration of the two-level bus hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HierarchyParams:
+    """A two-level (cluster / global) shared-bus hierarchy.
+
+    Attributes
+    ----------
+    clusters:
+        Number of clusters C, each with its own snooping bus.  With
+        C = 1 the model collapses to the paper's flat single-bus system
+        (memory hangs off the one bus; nothing escapes).
+    per_cluster:
+        Processors per cluster, K.  Total system size N = C * K.
+    cluster_locality:
+        Probability that the caches relevant to a shared-block
+        transaction (the supplier of a missed block; the sharers hit by
+        a broadcast) live in the requester's own cluster.  1.0 models
+        perfectly partitioned sharing; 1/C models uniformly random
+        placement.
+    global_overhead_cycles:
+        Extra arbitration/repeat cycles added to every transaction that
+        crosses onto the global bus.
+    cluster_cache_hit:
+        Probability that a miss that no in-cluster cache can supply is
+        satisfied by the cluster-level (second-level) cache, Wilson's
+        key scaling mechanism.  0.0 removes the cluster cache.
+    split_transactions:
+        When True (pended buses), an escaping transaction releases the
+        local bus while it waits for and uses the global bus; when
+        False, the local bus is held through the whole global
+        transaction, the way the flat model's broadcasts hold the bus
+        through the memory wait.
+    """
+
+    clusters: int
+    per_cluster: int
+    cluster_locality: float = 0.5
+    global_overhead_cycles: float = 1.0
+    cluster_cache_hit: float = 0.8
+    split_transactions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.clusters < 1:
+            raise ValueError(f"clusters must be >= 1, got {self.clusters!r}")
+        if self.per_cluster < 1:
+            raise ValueError(
+                f"per_cluster must be >= 1, got {self.per_cluster!r}")
+        if not 0.0 <= self.cluster_locality <= 1.0:
+            raise ValueError("cluster_locality must be in [0, 1]")
+        if self.global_overhead_cycles < 0.0:
+            raise ValueError("global_overhead_cycles must be non-negative")
+        if not 0.0 <= self.cluster_cache_hit <= 1.0:
+            raise ValueError("cluster_cache_hit must be in [0, 1]")
+
+    @property
+    def n_processors(self) -> int:
+        return self.clusters * self.per_cluster
+
+    @property
+    def is_flat(self) -> bool:
+        """A single cluster is the paper's flat system."""
+        return self.clusters == 1
+
+    @classmethod
+    def uniform_sharing(cls, clusters: int, per_cluster: int,
+                        global_overhead_cycles: float = 1.0) -> "HierarchyParams":
+        """Locality of uniformly random sharer placement: a specific
+        relevant cache is in-cluster with probability ~ (K-1)/(N-1)."""
+        n = clusters * per_cluster
+        locality = ((per_cluster - 1) / (n - 1)) if n > 1 else 1.0
+        return cls(clusters=clusters, per_cluster=per_cluster,
+                   cluster_locality=locality,
+                   global_overhead_cycles=global_overhead_cycles)

@@ -1,0 +1,66 @@
+"""The named protocol family mapped onto modification sets.
+
+Paper Section 2.2 records which proposals adopt which modifications:
+
+* modification 1 (exclusive on miss): Illinois, Dragon, RWB;
+* modification 2 (cache-to-cache supply): Berkeley, Dragon
+  (Illinois supplies and updates memory in one operation, which the
+  paper calls "another optimization similar to this modification" --
+  we model Illinois without it);
+* modification 3 (invalidate instead of write-word): all five;
+* modification 4 (write broadcast): RWB, Dragon.
+
+These mappings are approximations -- each real protocol has additional
+idiosyncrasies -- but they are the mappings the paper's study evaluates.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.modifications import ProtocolSpec
+
+
+def write_once() -> ProtocolSpec:
+    """Goodman's Write-Once protocol (the unmodified baseline)."""
+    return ProtocolSpec.of(name="Write-Once")
+
+
+def synapse() -> ProtocolSpec:
+    """Synapse (Frank 1984): invalidate on first write."""
+    return ProtocolSpec.of(3, name="Synapse")
+
+
+def illinois() -> ProtocolSpec:
+    """Illinois (Papamarcos & Patel 1984): exclusive on miss + invalidate."""
+    return ProtocolSpec.of(1, 3, name="Illinois")
+
+
+def berkeley() -> ProtocolSpec:
+    """Berkeley (Katz et al. 1985): ownership supply + invalidate."""
+    return ProtocolSpec.of(2, 3, name="Berkeley")
+
+
+def rwb() -> ProtocolSpec:
+    """RWB (Rudolph & Segall 1984): exclusive miss, invalidate, broadcast."""
+    return ProtocolSpec.of(1, 3, 4, name="RWB")
+
+
+def dragon() -> ProtocolSpec:
+    """Dragon (McCreight 1984): all four modifications."""
+    return ProtocolSpec.of(1, 2, 3, 4, name="Dragon")
+
+
+#: Registry of the named protocols, in publication order.
+PROTOCOLS: dict[str, ProtocolSpec] = {
+    spec.name.lower(): spec  # type: ignore[union-attr]
+    for spec in (write_once(), synapse(), illinois(), berkeley(), rwb(), dragon())
+}
+
+
+def protocol_by_name(name: str) -> ProtocolSpec:
+    """Look up a named protocol (case-insensitive)."""
+    key = name.strip().lower()
+    try:
+        return PROTOCOLS[key]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOLS))
+        raise ValueError(f"unknown protocol {name!r}; known: {known}") from None

@@ -1,0 +1,76 @@
+"""Cache-block states (paper Section 2.1).
+
+Block state is "defined by three bits of state information": valid /
+invalid; exclusive / non-exclusive; wback / no-wback.  Not every
+protocol uses every combination; :class:`BlockState` enumerates the five
+reachable states and provides the predicates the protocol machine needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StateBits:
+    """The raw three state bits of Section 2.1."""
+
+    valid: bool
+    exclusive: bool
+    wback: bool
+
+
+class BlockState(enum.Enum):
+    """The reachable cache-block states.
+
+    ``INVALID`` ignores the other two bits.  A *wback* block is modified
+    relative to memory; under Write-Once a wback block is always
+    exclusive, but modification 2 introduces shared-dirty ownership
+    (``SHARED_WBACK``), e.g. Berkeley's "owned non-exclusively".
+    """
+
+    INVALID = StateBits(valid=False, exclusive=False, wback=False)
+    SHARED_CLEAN = StateBits(valid=True, exclusive=False, wback=False)
+    SHARED_WBACK = StateBits(valid=True, exclusive=False, wback=True)
+    EXCLUSIVE_CLEAN = StateBits(valid=True, exclusive=True, wback=False)
+    EXCLUSIVE_WBACK = StateBits(valid=True, exclusive=True, wback=True)
+
+    @property
+    def bits(self) -> StateBits:
+        """The raw three bits backing this state."""
+        return self.value
+
+    @property
+    def valid(self) -> bool:
+        return self.value.valid
+
+    @property
+    def exclusive(self) -> bool:
+        """The cache *knows* it holds the only copy."""
+        return self.value.exclusive
+
+    @property
+    def wback(self) -> bool:
+        """The block must be written back to memory when purged."""
+        return self.value.wback
+
+    @property
+    def writable_without_bus(self) -> bool:
+        """A processor write can proceed with no bus operation.
+
+        True exactly for the exclusive states: writes to non-exclusive
+        blocks must notify the other caches.
+        """
+        return self.value.valid and self.value.exclusive
+
+    @classmethod
+    def from_bits(cls, valid: bool, exclusive: bool, wback: bool) -> "BlockState":
+        """Map raw bits to a state (invalid ignores the other bits)."""
+        if not valid:
+            return cls.INVALID
+        for state in cls:
+            if state.value == StateBits(valid, exclusive, wback):
+                return state
+        raise ValueError(f"unreachable state bits: valid={valid} "
+                         f"exclusive={exclusive} wback={wback}")

@@ -1,0 +1,51 @@
+"""Classical queueing-network analysis (Lazowska et al. 1984, [LZGS84]).
+
+The paper's "customized mean value equations" apply "techniques from
+Product Form queueing networks [LZGS84] in an approximate way".  This
+package provides the standard machinery those techniques come from:
+
+* :func:`exact_mva` -- exact Mean Value Analysis of closed single-class
+  product-form networks (queueing and delay centers);
+* :func:`approximate_mva` -- the Schweitzer/Bard fixed-point
+  approximation, the direct ancestor of the paper's arrival-instant
+  estimates (equations 6 and 8);
+* :mod:`~repro.queueing.residual` -- residual-life formulas behind
+  equation (10);
+* :mod:`~repro.queueing.mm1` -- M/M/1 and M/D/1 closed forms used as
+  test oracles.
+
+The substrate is used by the test-suite to cross-validate the custom
+model in limiting cases (e.g. with cache and memory interference
+switched off, the multiprocessor reduces to a delay center plus one
+FCFS bus queue).
+"""
+
+from repro.queueing.centers import Center, CenterKind, delay, queueing
+from repro.queueing.mva_exact import MVAResult, exact_mva
+from repro.queueing.mva_approx import approximate_mva
+from repro.queueing.mva_multiclass import (
+    CustomerClass,
+    MulticlassResult,
+    approximate_mva_multiclass,
+    exact_mva_multiclass,
+)
+from repro.queueing.mm1 import MD1, MM1
+from repro.queueing.residual import mean_residual_life, residual_life_mixture
+
+__all__ = [
+    "Center",
+    "CenterKind",
+    "CustomerClass",
+    "MD1",
+    "MM1",
+    "MVAResult",
+    "MulticlassResult",
+    "approximate_mva",
+    "approximate_mva_multiclass",
+    "delay",
+    "exact_mva",
+    "exact_mva_multiclass",
+    "mean_residual_life",
+    "queueing",
+    "residual_life_mixture",
+]

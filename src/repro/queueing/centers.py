@@ -1,0 +1,44 @@
+"""Service-center descriptions for closed queueing networks."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CenterKind(enum.Enum):
+    """Product-form center types used in this library.
+
+    ``QUEUEING`` is a load-independent FCFS/PS single server;
+    ``DELAY`` is an infinite-server (think-time) center.
+    """
+
+    QUEUEING = "queueing"
+    DELAY = "delay"
+
+
+@dataclass(frozen=True)
+class Center:
+    """One service center of a single-class closed network.
+
+    ``demand`` is the total service demand per job visit cycle,
+    D = V * S (visit count times service time per visit).
+    """
+
+    name: str
+    demand: float
+    kind: CenterKind = CenterKind.QUEUEING
+
+    def __post_init__(self) -> None:
+        if self.demand < 0.0:
+            raise ValueError(f"demand must be non-negative, got {self.demand!r}")
+
+
+def queueing(name: str, demand: float) -> Center:
+    """A load-independent queueing center."""
+    return Center(name=name, demand=demand, kind=CenterKind.QUEUEING)
+
+
+def delay(name: str, demand: float) -> Center:
+    """An infinite-server (delay) center."""
+    return Center(name=name, demand=demand, kind=CenterKind.DELAY)

@@ -1,0 +1,86 @@
+"""M/M/1 and M/D/1 closed forms, used as oracles in the test suite."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MM1:
+    """M/M/1 queue: Poisson arrivals, exponential service, one server."""
+
+    arrival_rate: float
+    service_rate: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0.0 or self.service_rate <= 0.0:
+            raise ValueError("need arrival_rate >= 0 and service_rate > 0")
+
+    @property
+    def utilization(self) -> float:
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def stable(self) -> bool:
+        return self.utilization < 1.0
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean number in system, rho / (1 - rho)."""
+        rho = self.utilization
+        return rho / (1.0 - rho) if self.stable else math.inf
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean time in system, 1 / (mu - lambda)."""
+        if not self.stable:
+            return math.inf
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Mean time in queue (excluding service)."""
+        if not self.stable:
+            return math.inf
+        return self.mean_response_time - 1.0 / self.service_rate
+
+
+@dataclass(frozen=True)
+class MD1:
+    """M/D/1 queue: Poisson arrivals, deterministic service."""
+
+    arrival_rate: float
+    service_time: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0.0 or self.service_time < 0.0:
+            raise ValueError("need non-negative arrival_rate and service_time")
+
+    @property
+    def utilization(self) -> float:
+        return self.arrival_rate * self.service_time
+
+    @property
+    def stable(self) -> bool:
+        return self.utilization < 1.0
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Pollaczek-Khinchine: rho s / (2 (1 - rho))."""
+        rho = self.utilization
+        if not self.stable:
+            return math.inf
+        return rho * self.service_time / (2.0 * (1.0 - rho))
+
+    @property
+    def mean_response_time(self) -> float:
+        return (self.mean_waiting_time + self.service_time
+                if self.stable else math.inf)
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Little's law on the full system."""
+        if not self.stable:
+            return math.inf
+        return self.arrival_rate * self.mean_response_time

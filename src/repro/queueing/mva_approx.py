@@ -1,0 +1,76 @@
+"""Approximate (Schweitzer/Bard) Mean Value Analysis.
+
+Replaces the exact population recursion with the fixed point of
+
+    Q_k(N-1) ~= (N-1)/N * Q_k(N)
+
+which is precisely the style of arrival-instant approximation the paper
+uses in its equations (6) and (8): the queue seen by an arriving
+customer is estimated by the steady-state queue with that customer
+removed.  Cost O(K) per iteration, independent of N -- the property the
+paper's Section 3.2 efficiency claims rest on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.queueing.centers import Center, CenterKind
+from repro.queueing.mva_exact import MVAResult, _validate
+
+
+def approximate_mva(
+    centers: Sequence[Center],
+    population: int,
+    tolerance: float = 1e-10,
+    max_iterations: int = 10000,
+) -> MVAResult:
+    """Solve the closed network with the Schweitzer fixed point."""
+    _validate(centers, population)
+    if tolerance <= 0.0:
+        raise ValueError("tolerance must be positive")
+    n = population
+    if n == 0:
+        zeros = {c.name: 0.0 for c in centers}
+        return MVAResult(population=0, throughput=0.0, response_time=0.0,
+                         residence_times=dict(zeros), queue_lengths=dict(zeros),
+                         utilizations=dict(zeros))
+
+    queueing_centers = [c for c in centers if c.kind is CenterKind.QUEUEING]
+    # Initial guess: population evenly spread over queueing centers.
+    queue = {c.name: n / max(len(queueing_centers), 1) for c in queueing_centers}
+    residence = {c.name: 0.0 for c in centers}
+    throughput = 0.0
+    for _ in range(max_iterations):
+        for c in centers:
+            if c.kind is CenterKind.QUEUEING:
+                seen = (n - 1) / n * queue[c.name]
+                residence[c.name] = c.demand * (1.0 + seen)
+            else:
+                residence[c.name] = c.demand
+        total = sum(residence.values())
+        throughput = n / total if total > 0.0 else float("inf")
+        delta = 0.0
+        for c in queueing_centers:
+            new_q = throughput * residence[c.name]
+            delta = max(delta, abs(new_q - queue[c.name]))
+            queue[c.name] = new_q
+        if delta < tolerance:
+            break
+    else:
+        raise RuntimeError("Schweitzer MVA failed to converge")
+
+    all_queues = {c.name: throughput * residence[c.name] for c in centers}
+    utilizations = {
+        c.name: (min(throughput * c.demand, 1.0)
+                 if c.kind is CenterKind.QUEUEING else throughput * c.demand)
+        for c in centers
+    }
+    return MVAResult(
+        population=n,
+        throughput=throughput,
+        response_time=n / throughput if throughput > 0.0 else 0.0,
+        residence_times=dict(residence),
+        queue_lengths=all_queues,
+        utilizations=utilizations,
+    )

@@ -1,0 +1,103 @@
+"""Exact Mean Value Analysis for single-class closed networks.
+
+The classical recursion (Reiser & Lavenberg; [LZGS84] Chapter 6): for
+population n = 1..N and each queueing center k,
+
+    R_k(n) = D_k * (1 + Q_k(n-1))          (queueing center)
+    R_k(n) = D_k                            (delay center)
+    X(n)   = n / sum_k R_k(n)
+    Q_k(n) = X(n) * R_k(n)
+
+Exact for product-form networks; cost O(N * K).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.queueing.centers import Center, CenterKind
+
+
+@dataclass(frozen=True)
+class MVAResult:
+    """Solution of a closed network at one population size.
+
+    ``residence_times`` / ``queue_lengths`` / ``utilizations`` are keyed
+    by center name; ``throughput`` is the system throughput X(N) and
+    ``response_time`` the total cycle time N / X(N).
+    """
+
+    population: int
+    throughput: float
+    response_time: float
+    residence_times: dict[str, float]
+    queue_lengths: dict[str, float]
+    utilizations: dict[str, float]
+
+    def bottleneck(self) -> str:
+        """The center with the highest utilization."""
+        return max(self.utilizations, key=self.utilizations.get)  # type: ignore[arg-type]
+
+
+def _validate(centers: Sequence[Center], population: int) -> None:
+    if population < 0:
+        raise ValueError(f"population must be non-negative, got {population!r}")
+    if not centers:
+        raise ValueError("at least one service center is required")
+    names = [c.name for c in centers]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate center names: {names}")
+
+
+def exact_mva(centers: Sequence[Center], population: int) -> MVAResult:
+    """Solve the closed network exactly at the given population."""
+    _validate(centers, population)
+    queue = {c.name: 0.0 for c in centers}
+    throughput = 0.0
+    residence = {c.name: 0.0 for c in centers}
+    for n in range(1, population + 1):
+        for c in centers:
+            if c.kind is CenterKind.QUEUEING:
+                residence[c.name] = c.demand * (1.0 + queue[c.name])
+            else:
+                residence[c.name] = c.demand
+        total = sum(residence.values())
+        throughput = n / total if total > 0.0 else float("inf")
+        for c in centers:
+            queue[c.name] = throughput * residence[c.name]
+    response = population / throughput if throughput > 0.0 else 0.0
+    utilizations = {
+        c.name: (min(throughput * c.demand, 1.0)
+                 if c.kind is CenterKind.QUEUEING else throughput * c.demand)
+        for c in centers
+    }
+    return MVAResult(
+        population=population,
+        throughput=throughput,
+        response_time=response,
+        residence_times=dict(residence),
+        queue_lengths=dict(queue),
+        utilizations=utilizations,
+    )
+
+
+def asymptotic_bounds(centers: Sequence[Center], population: int) -> tuple[float, float]:
+    """Classical asymptotic throughput bounds (lower, upper).
+
+    X(N) <= min(N / (D + Z), 1 / D_max) where D is the total queueing
+    demand and Z the total delay demand; the balanced lower bound
+    N / (D + Z + (N-1) D_max) is returned as the first element.
+    """
+    _validate(centers, population)
+    d_total = sum(c.demand for c in centers if c.kind is CenterKind.QUEUEING)
+    z_total = sum(c.demand for c in centers if c.kind is CenterKind.DELAY)
+    d_max = max((c.demand for c in centers if c.kind is CenterKind.QUEUEING),
+                default=0.0)
+    if population == 0:
+        return 0.0, 0.0
+    upper = population / (d_total + z_total)
+    if d_max > 0.0:
+        upper = min(upper, 1.0 / d_max)
+    lower = population / (d_total + z_total + (population - 1) * d_max)
+    return lower, upper

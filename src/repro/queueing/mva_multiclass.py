@@ -1,0 +1,204 @@
+"""Exact and approximate MVA for multi-class closed networks.
+
+Extends the single-class machinery to R customer classes, each with its
+own population, think time, and per-center demands ([LZGS84] Chapter 7).
+The exact recursion enumerates all population sub-vectors (cost
+prod_r (N_r + 1) * K), so it is for small populations; the Schweitzer
+fixed point scales to any population.
+
+This substrate supports heterogeneous-processor studies (e.g. one class
+of compute-bound and one class of I/O-bound processors sharing the
+coherence bus), a generalization the flat paper model cannot express.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.queueing.centers import Center, CenterKind
+
+
+@dataclass(frozen=True)
+class CustomerClass:
+    """One closed customer class."""
+
+    name: str
+    population: int
+    #: Service demand per center name; centers absent here have zero
+    #: demand for this class.
+    demands: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.population < 0:
+            raise ValueError(f"population must be >= 0, got {self.population!r}")
+        for center, demand in self.demands.items():
+            if demand < 0.0:
+                raise ValueError(
+                    f"negative demand {demand!r} at {center!r} for class "
+                    f"{self.name!r}")
+
+
+@dataclass(frozen=True)
+class MulticlassResult:
+    """Per-class throughputs/response times plus per-center queues."""
+
+    throughputs: dict[str, float]
+    response_times: dict[str, float]
+    queue_lengths: dict[str, float]          # by center, total over classes
+    utilizations: dict[str, float]           # by center
+
+    def throughput(self, class_name: str) -> float:
+        return self.throughputs[class_name]
+
+
+def _validate(centers: Sequence[Center], classes: Sequence[CustomerClass]) -> None:
+    if not centers:
+        raise ValueError("at least one center required")
+    if not classes:
+        raise ValueError("at least one class required")
+    names = {c.name for c in centers}
+    if len(names) != len(centers):
+        raise ValueError("duplicate center names")
+    class_names = [c.name for c in classes]
+    if len(set(class_names)) != len(class_names):
+        raise ValueError("duplicate class names")
+    for cls in classes:
+        unknown = set(cls.demands) - names
+        if unknown:
+            raise ValueError(f"class {cls.name!r} references unknown "
+                             f"centers {sorted(unknown)}")
+
+
+def exact_mva_multiclass(
+    centers: Sequence[Center],
+    classes: Sequence[CustomerClass],
+) -> MulticlassResult:
+    """Exact multi-class MVA over all population sub-vectors."""
+    _validate(centers, classes)
+    r_count = len(classes)
+    populations = tuple(c.population for c in classes)
+    queueing_centers = [c for c in centers if c.kind is CenterKind.QUEUEING]
+
+    # queue[vector][center] = mean queue length at that population.
+    zero = tuple([0] * r_count)
+    queues: dict[tuple[int, ...], dict[str, float]] = {
+        zero: {c.name: 0.0 for c in queueing_centers}}
+    throughputs: dict[tuple[int, ...], list[float]] = {zero: [0.0] * r_count}
+
+    def vectors_up_to(limits):
+        return itertools.product(*(range(n + 1) for n in limits))
+
+    for vector in sorted(vectors_up_to(populations), key=sum):
+        if vector == zero:
+            continue
+        residence = [dict.fromkeys((c.name for c in centers), 0.0)
+                     for _ in range(r_count)]
+        x = [0.0] * r_count
+        for r, cls in enumerate(classes):
+            if vector[r] == 0:
+                continue
+            reduced = list(vector)
+            reduced[r] -= 1
+            reduced_queues = queues[tuple(reduced)]
+            total = 0.0
+            for center in centers:
+                demand = cls.demands.get(center.name, 0.0)
+                if center.kind is CenterKind.QUEUEING:
+                    value = demand * (1.0 + reduced_queues[center.name])
+                else:
+                    value = demand
+                residence[r][center.name] = value
+                total += value
+            x[r] = vector[r] / total if total > 0.0 else 0.0
+        queues[vector] = {
+            c.name: sum(x[r] * residence[r][c.name] for r in range(r_count))
+            for c in queueing_centers}
+        throughputs[vector] = x
+
+    x_final = throughputs[populations]
+    response = {
+        cls.name: (cls.population / x_final[r] if x_final[r] > 0.0 else 0.0)
+        for r, cls in enumerate(classes)}
+    utilizations = {}
+    for center in centers:
+        util = sum(x_final[r] * cls.demands.get(center.name, 0.0)
+                   for r, cls in enumerate(classes))
+        if center.kind is CenterKind.QUEUEING:
+            util = min(util, 1.0)
+        utilizations[center.name] = util
+    return MulticlassResult(
+        throughputs={cls.name: x_final[r] for r, cls in enumerate(classes)},
+        response_times=response,
+        queue_lengths=dict(queues[populations]),
+        utilizations=utilizations,
+    )
+
+
+def approximate_mva_multiclass(
+    centers: Sequence[Center],
+    classes: Sequence[CustomerClass],
+    tolerance: float = 1e-10,
+    max_iterations: int = 100_000,
+) -> MulticlassResult:
+    """Multi-class Schweitzer: Q_{r,k}(N - e_r) ~ Q_{r,k}(N) scaled by
+    (N_r - 1)/N_r for the own class."""
+    _validate(centers, classes)
+    if tolerance <= 0.0:
+        raise ValueError("tolerance must be positive")
+    queueing_centers = [c for c in centers if c.kind is CenterKind.QUEUEING]
+    r_count = len(classes)
+    # per-class per-center queue estimates.
+    q = {(r, c.name): classes[r].population / max(len(queueing_centers), 1)
+         for r in range(r_count) for c in queueing_centers}
+    x = [0.0] * r_count
+    for _ in range(max_iterations):
+        delta = 0.0
+        new_q = dict(q)
+        for r, cls in enumerate(classes):
+            n_r = cls.population
+            if n_r == 0:
+                x[r] = 0.0
+                continue
+            total = 0.0
+            residence = {}
+            for center in centers:
+                demand = cls.demands.get(center.name, 0.0)
+                if center.kind is CenterKind.QUEUEING:
+                    seen = sum(
+                        q[(s, center.name)] * ((n_r - 1) / n_r if s == r else 1.0)
+                        for s in range(r_count))
+                    value = demand * (1.0 + seen)
+                else:
+                    value = demand
+                residence[center.name] = value
+                total += value
+            x[r] = n_r / total if total > 0.0 else 0.0
+            for center in queueing_centers:
+                updated = x[r] * residence[center.name]
+                delta = max(delta, abs(updated - q[(r, center.name)]))
+                new_q[(r, center.name)] = updated
+        q = new_q
+        if delta < tolerance:
+            break
+    else:
+        raise RuntimeError("multiclass Schweitzer failed to converge")
+
+    utilizations = {}
+    for center in centers:
+        util = sum(x[r] * cls.demands.get(center.name, 0.0)
+                   for r, cls in enumerate(classes))
+        if center.kind is CenterKind.QUEUEING:
+            util = min(util, 1.0)
+        utilizations[center.name] = util
+    return MulticlassResult(
+        throughputs={cls.name: x[r] for r, cls in enumerate(classes)},
+        response_times={
+            cls.name: (cls.population / x[r] if x[r] > 0.0 else 0.0)
+            for r, cls in enumerate(classes)},
+        queue_lengths={
+            c.name: sum(q[(r, c.name)] for r in range(r_count))
+            for c in queueing_centers},
+        utilizations=utilizations,
+    )

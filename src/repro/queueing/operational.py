@@ -1,0 +1,104 @@
+"""Operational laws ([LZGS84] Chapter 3) as checkable assertions.
+
+Little's law, the utilization law, the forced-flow law, the response
+time law, and bottleneck analysis.  Beyond their textbook role, they
+are used as *consistency oracles*: any set of measurements (from the
+MVA, the simulator, or the Petri-net solver) must satisfy them, so
+:func:`check_consistency` is a cheap cross-model audit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def littles_law_n(throughput: float, response_time: float) -> float:
+    """N = X * R."""
+    return throughput * response_time
+
+
+def utilization_law(throughput: float, service_demand: float) -> float:
+    """U = X * D."""
+    return throughput * service_demand
+
+
+def forced_flow_law(system_throughput: float, visit_count: float) -> float:
+    """X_k = X * V_k."""
+    return system_throughput * visit_count
+
+
+def response_time_law(population: int, throughput: float,
+                      think_time: float) -> float:
+    """R = N / X - Z (interactive response time law)."""
+    if throughput <= 0.0:
+        return math.inf
+    return population / throughput - think_time
+
+
+def bottleneck_throughput_bound(max_demand: float) -> float:
+    """X <= 1 / D_max."""
+    if max_demand <= 0.0:
+        return math.inf
+    return 1.0 / max_demand
+
+
+@dataclass(frozen=True)
+class ConsistencyReport:
+    """Outcome of an operational-law audit on one set of measurements."""
+
+    littles_law_residual: float
+    utilization_residual: float
+    consistent: bool
+    tolerance: float
+
+
+def check_consistency(
+    population: int,
+    throughput: float,
+    response_time: float,
+    utilization: float,
+    service_demand: float,
+    tolerance: float = 1e-6,
+) -> ConsistencyReport:
+    """Audit X, R, U, D against Little's law and the utilization law.
+
+    ``response_time`` here is the full cycle time (including any think
+    time), so Little's law reads N = X * R exactly.
+    """
+    if tolerance <= 0.0:
+        raise ValueError("tolerance must be positive")
+    n_implied = littles_law_n(throughput, response_time)
+    little_residual = abs(n_implied - population) / max(population, 1)
+    u_implied = utilization_law(throughput, service_demand)
+    # Utilization saturates at 1; only audit the unsaturated regime.
+    if u_implied < 0.999 and utilization < 0.999:
+        util_residual = abs(u_implied - utilization) / max(u_implied, 1e-12)
+    else:
+        util_residual = 0.0
+    return ConsistencyReport(
+        littles_law_residual=little_residual,
+        utilization_residual=util_residual,
+        consistent=(little_residual <= tolerance
+                    and util_residual <= tolerance),
+        tolerance=tolerance,
+    )
+
+
+def audit_mva_report(report, bus_demand: float,
+                     tolerance: float = 1e-6) -> ConsistencyReport:
+    """Audit a :class:`~repro.core.metrics.PerformanceReport`.
+
+    The system throughput is N/R by construction, so Little's law holds
+    identically; the meaningful check is the utilization law on the
+    bus: U_bus = (N/R) * (bus demand per request).
+    """
+    throughput = report.n_processors / report.cycle_time
+    return check_consistency(
+        population=report.n_processors,
+        throughput=throughput,
+        response_time=report.cycle_time,
+        utilization=report.u_bus,
+        service_demand=bus_demand,
+        tolerance=tolerance,
+    )

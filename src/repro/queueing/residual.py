@@ -1,0 +1,94 @@
+"""Residual-life formulas (behind the paper's equation 10).
+
+For a renewal process of service times with mean m and second moment
+m2, the mean remaining service observed by a random (Poisson) arrival
+that finds the server busy is  m2 / (2 m).  For a *deterministic*
+service time t this is t/2, which is exactly the form the paper uses
+for its fixed bus access times: equation (10) mixes (T_write+w_mem)/2
+and t_read/2 weighted by each class's share of bus busy time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def mean_residual_life(mean: float, second_moment: float | None = None,
+                       cv2: float | None = None) -> float:
+    """Mean residual service time of the job in service.
+
+    Provide either the second moment or the squared coefficient of
+    variation (cv2 = variance / mean^2).  Deterministic service has
+    cv2 = 0 (residual = mean/2); exponential has cv2 = 1 (residual =
+    mean).
+    """
+    if mean < 0.0:
+        raise ValueError("mean must be non-negative")
+    if (second_moment is None) == (cv2 is None):
+        raise ValueError("provide exactly one of second_moment or cv2")
+    if second_moment is None:
+        assert cv2 is not None
+        if cv2 < 0.0:
+            raise ValueError("cv2 must be non-negative")
+        second_moment = (cv2 + 1.0) * mean * mean
+    if second_moment < mean * mean - 1e-12:
+        raise ValueError("second moment below mean^2 is impossible")
+    if mean == 0.0:
+        return 0.0
+    return second_moment / (2.0 * mean)
+
+
+def residual_life_mixture(weights: Sequence[float],
+                          service_times: Sequence[float]) -> float:
+    """Equation (10)'s form: deterministic classes mixed by busy-time share.
+
+    ``weights`` are the probabilities that a bus request is of each
+    class; ``service_times`` the deterministic access time of each
+    class.  The returned value is the mean residual life seen by an
+    arrival that finds the server busy:
+
+        sum_i [w_i t_i / sum_j w_j t_j] * t_i / 2
+    """
+    if len(weights) != len(service_times):
+        raise ValueError("weights and service_times must have equal length")
+    if any(w < 0.0 for w in weights) or any(t < 0.0 for t in service_times):
+        raise ValueError("weights and service times must be non-negative")
+    busy = sum(w * t for w, t in zip(weights, service_times))
+    if busy == 0.0:
+        return 0.0
+    return sum((w * t / busy) * (t / 2.0)
+               for w, t in zip(weights, service_times))
+
+
+def residual_life_mixture_via_moments(weights: Sequence[float],
+                                      service_times: Sequence[float]) -> float:
+    """The same quantity from the renewal formula m2 / (2 m).
+
+    Used by the tests to confirm that equation (10) *is* the standard
+    residual-life of the deterministic mixture (weights are renormalized
+    over the classes with positive weight).
+    """
+    total_w = sum(weights)
+    if total_w == 0.0:
+        return 0.0
+    m = sum(w * t for w, t in zip(weights, service_times)) / total_w
+    m2 = sum(w * t * t for w, t in zip(weights, service_times)) / total_w
+    if m == 0.0:
+        return 0.0
+    return m2 / (2.0 * m)
+
+
+def pollaczek_khinchine_wait(arrival_rate: float, mean_service: float,
+                             cv2: float) -> float:
+    """M/G/1 mean waiting time (oracle for the bus-wait style formulas).
+
+    W = rho * R / (1 - rho) with R the mean residual life.
+    """
+    if arrival_rate < 0.0 or mean_service < 0.0:
+        raise ValueError("rates and service times must be non-negative")
+    rho = arrival_rate * mean_service
+    if rho >= 1.0:
+        return math.inf
+    residual = mean_residual_life(mean_service, cv2=cv2)
+    return rho * residual / (1.0 - rho)

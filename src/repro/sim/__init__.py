@@ -1,0 +1,62 @@
+"""Discrete-event simulator of the shared-bus multiprocessor.
+
+This is the repository's *detailed model*: the role the GTPN plays in
+the paper (its Section 4 validates the cheap MVA against an expensive
+detailed solution of the same probabilistic system).  The simulator
+models:
+
+* N processors with exponential execution bursts (mean tau) that block
+  on memory requests;
+* per-processor snooping caches with dual directories -- processor
+  requests are delayed only by bus transactions that require cache
+  action, which have priority (Section 2.1);
+* a single FCFS shared bus with deterministic per-transaction service
+  segments (address cycle, block transfers, write-words);
+* four interleaved main-memory modules with a fixed 3-cycle latency,
+  occupied by memory-write operations;
+* workload outcomes sampled per reference from the same
+  :class:`~repro.workload.derived.DerivedInputs` the MVA consumes, so
+  both models analyze *the same* stochastic system by construction.
+
+Entry point: :class:`SnoopingBusSimulator` (or the convenience
+:func:`simulate`).
+"""
+
+from repro.sim.bus import BusDiscipline
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import EventQueue, Simulation
+from repro.sim.hierarchical import (
+    HierarchicalBusSimulator,
+    HierarchicalSimConfig,
+    HierarchicalSimResult,
+    simulate_hierarchy,
+)
+from repro.sim.stats import BatchMeans, TimeWeightedAverage, Welford
+from repro.sim.system import SimulationResult, SnoopingBusSimulator, simulate
+from repro.sim.trace_driven import (
+    TraceDrivenConfig,
+    TraceDrivenResult,
+    TraceDrivenSimulator,
+    simulate_trace_driven,
+)
+
+__all__ = [
+    "BatchMeans",
+    "BusDiscipline",
+    "EventQueue",
+    "HierarchicalBusSimulator",
+    "HierarchicalSimConfig",
+    "HierarchicalSimResult",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "SnoopingBusSimulator",
+    "TimeWeightedAverage",
+    "TraceDrivenConfig",
+    "TraceDrivenResult",
+    "TraceDrivenSimulator",
+    "Welford",
+    "simulate",
+    "simulate_hierarchy",
+    "simulate_trace_driven",
+]

@@ -1,0 +1,139 @@
+"""The shared bus: a single non-preemptive server with deterministic
+segments.
+
+The paper's GTPN serves bus requests in *random order* while the MVA
+assumes *FCFS*; "both scheduling disciplines have the same mean waiting
+time, and thus yield the same predicted speedup measures" (Section
+2.1).  The simulator supports both disciplines so that claim is itself
+testable (see ``tests/test_sim_disciplines.py``); FCFS is the default.
+
+Service durations are computed by the system (they depend on the
+sampled outcome and on memory-module availability); the bus tracks the
+queue, waiting times, and its utilization signal.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.sim.stats import TimeWeightedAverage, Welford
+from repro.workload.streams import ReferenceOutcome
+
+
+class BusDiscipline(enum.Enum):
+    """Order in which queued bus requests are granted."""
+
+    FCFS = "fcfs"
+    RANDOM = "random"  # the GTPN's random-order service
+
+
+@dataclass
+class BusRequest:
+    """One queued bus transaction."""
+
+    cache_id: int
+    outcome: ReferenceOutcome
+    enqueue_time: float
+    on_complete: Callable[[Any, "BusRequest"], None] = field(repr=False)
+    grant_time: float = -1.0
+    duration: float = 0.0
+    #: Free-form routing decision attached at submit time (e.g. whether
+    #: the transaction escapes to the global bus in the hierarchy).
+    tag: Any = None
+
+    @property
+    def wait(self) -> float:
+        """Queueing delay (grant - enqueue); the MVA's w_bus counterpart."""
+        return self.grant_time - self.enqueue_time
+
+
+class Bus:
+    """Arbiter over one shared bus (FCFS or random-order)."""
+
+    def __init__(self, discipline: BusDiscipline = BusDiscipline.FCFS,
+                 rng: np.random.Generator | None = None) -> None:
+        if discipline is BusDiscipline.RANDOM and rng is None:
+            raise ValueError("random-order service needs an rng")
+        self.discipline = discipline
+        self._rng = rng
+        self._queue: deque[BusRequest] = deque()
+        self._current: BusRequest | None = None
+        self.utilization_signal = TimeWeightedAverage()
+        self.queue_signal = TimeWeightedAverage()
+        self.wait_stats = Welford()
+        self.seen_queue_stats = Welford()
+        self.transactions = 0
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting (excluding the one in service)."""
+        return len(self._queue)
+
+    def submit(self, sim, request: BusRequest,
+               grant: Callable[[Any, BusRequest], None]) -> None:
+        """Enqueue a request; ``grant`` starts service when its turn comes.
+
+        ``grant`` must call :meth:`complete` when the transaction's
+        duration has elapsed (the system schedules that event).
+        """
+        # Arrival-instant statistics: number ahead of the arrival,
+        # counting the request in service (the MVA's Q-bar).
+        self.seen_queue_stats.add(len(self._queue) + (1 if self.busy else 0))
+        self._queue.append(request)
+        self._record_queue(sim.now)
+        if not self.busy:
+            self._start_next(sim, grant)
+
+    def complete(self, sim, grant: Callable[[Any, BusRequest], None]) -> None:
+        """End the in-service transaction and start the next, if any."""
+        assert self._current is not None, "complete() with idle bus"
+        finished = self._current
+        self._current = None
+        self.utilization_signal.update(sim.now, 0.0)
+        self.transactions += 1
+        if self._queue:
+            self._start_next(sim, grant)
+        finished.on_complete(sim, finished)
+
+    def _start_next(self, sim,
+                    grant: Callable[[Any, BusRequest], None]) -> None:
+        if self.discipline is BusDiscipline.RANDOM and len(self._queue) > 1:
+            assert self._rng is not None
+            pick = int(self._rng.integers(len(self._queue)))
+            self._queue.rotate(-pick)
+            request = self._queue.popleft()
+            self._queue.rotate(pick)
+        else:
+            request = self._queue.popleft()
+        self._record_queue(sim.now)
+        request.grant_time = sim.now
+        self.wait_stats.add(request.wait)
+        self._current = request
+        self.utilization_signal.update(sim.now, 1.0)
+        grant(sim, request)
+
+    def _record_queue(self, now: float) -> None:
+        self.queue_signal.update(now, float(len(self._queue)))
+
+    def reset_statistics(self, now: float) -> None:
+        self.utilization_signal.reset(now)
+        self.queue_signal.reset(now)
+        self.wait_stats = Welford()
+        self.seen_queue_stats = Welford()
+        self.transactions = 0
+
+    def utilization(self, now: float) -> float:
+        return self.utilization_signal.average(now)
+
+    def mean_queue_length(self, now: float) -> float:
+        return self.queue_signal.average(now)

@@ -1,0 +1,85 @@
+"""Snooping cache controller with dual directories.
+
+Paper Section 2.1: "Bus requests have priority over processor requests
+for service in a cache.  Dual directories are assumed, so processor
+requests are only delayed by bus requests that require some action on
+the part of the cache."
+
+The controller therefore tracks a single busy-until horizon fed by two
+sources: snoop work imposed by other caches' bus transactions
+(invalidate/update: one cycle; supply/flush: the whole transaction) and
+the one-cycle service of the local processor's request.  Snoop work has
+priority: a pending processor request starts only once the horizon
+stops moving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import Welford
+
+
+@dataclass
+class _PendingLocal:
+    arrival: float
+    token: int
+
+
+class CacheController:
+    """Busy-until bookkeeping for one cache."""
+
+    def __init__(self, cache_id: int, supply_time: float = 1.0):
+        self.cache_id = cache_id
+        self.supply_time = supply_time
+        self.busy_until = 0.0
+        self.interference_stats = Welford()
+        self.snoop_events = 0
+        self._pending: _PendingLocal | None = None
+        self._token = 0
+
+    def add_snoop_work(self, now: float, duration: float) -> None:
+        """Queue bus-imposed work; serialized at the cache, priority over
+        the processor."""
+        if duration < 0.0:
+            raise ValueError("snoop duration must be non-negative")
+        self.busy_until = max(self.busy_until, now) + duration
+        self.snoop_events += 1
+
+    def try_start_local(self, now: float) -> float | None:
+        """Attempt to start the local processor request at ``now``.
+
+        Returns the completion time if the cache is free (the request
+        occupies the cache for ``supply_time``), or None if snoop work is
+        still in progress -- the caller should re-poll at
+        :attr:`busy_until` (which may grow again in the meantime; the
+        re-poll loop in the system handles that).
+        """
+        if now + 1e-12 < self.busy_until:
+            return None
+        start = max(now, self.busy_until)
+        self.busy_until = start + self.supply_time
+        return self.busy_until
+
+    def begin_local_wait(self, arrival: float) -> int:
+        """Register a waiting processor request; returns a freshness token.
+
+        Tokens guard against stale re-poll events: only the newest
+        registration may start the request.
+        """
+        self._token += 1
+        self._pending = _PendingLocal(arrival=arrival, token=self._token)
+        return self._token
+
+    def pending_token_valid(self, token: int) -> bool:
+        return self._pending is not None and self._pending.token == token
+
+    def finish_local_wait(self, now: float) -> None:
+        """Record the interference delay and clear the pending slot."""
+        assert self._pending is not None
+        self.interference_stats.add(now - self._pending.arrival)
+        self._pending = None
+
+    def reset_statistics(self) -> None:
+        self.interference_stats = Welford()
+        self.snoop_events = 0

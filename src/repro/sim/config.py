@@ -1,0 +1,59 @@
+"""Simulation run configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocols.modifications import ProtocolSpec
+from repro.sim.bus import BusDiscipline
+from repro.workload.parameters import ArchitectureParams, WorkloadParameters
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed for one reproducible simulation run.
+
+    ``warmup_requests`` / ``measured_requests`` are totals across all
+    processors; statistics reset after warm-up.  The protocol's
+    Appendix-A workload overrides are applied exactly as in the MVA
+    (``apply_overrides``), so the two models stay input-compatible.
+    """
+
+    n_processors: int
+    workload: WorkloadParameters
+    protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
+    arch: ArchitectureParams = field(default_factory=ArchitectureParams)
+    seed: int = 12345
+    warmup_requests: int = 5_000
+    measured_requests: int = 50_000
+    n_batches: int = 10
+    apply_overrides: bool = True
+    bus_discipline: BusDiscipline = BusDiscipline.FCFS
+    #: Override Appendix B's 0.5 snoop-holder probability (None = 0.5);
+    #: set by the N-dependent sharing refinement.
+    holder_probability: float | None = None
+    #: Model memory-module contention on the read path too.  The MVA
+    #: ignores it ("memory interference is not an important factor in
+    #: the response time for remote reads", Section 3.1); enabling this
+    #: lets the ablation bench test that assumption.
+    model_read_memory_contention: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_processors < 1:
+            raise ValueError(f"n_processors must be >= 1, got {self.n_processors!r}")
+        if self.warmup_requests < 0:
+            raise ValueError("warmup_requests must be non-negative")
+        if self.measured_requests < 1:
+            raise ValueError("measured_requests must be >= 1")
+        if self.n_batches < 1:
+            raise ValueError("n_batches must be >= 1")
+        if (self.holder_probability is not None
+                and not 0.0 <= self.holder_probability <= 1.0):
+            raise ValueError("holder_probability must be in [0, 1]")
+
+    @property
+    def effective_workload(self) -> WorkloadParameters:
+        """The workload after protocol overrides (if enabled)."""
+        if self.apply_overrides:
+            return self.protocol.adjust_workload(self.workload)
+        return self.workload

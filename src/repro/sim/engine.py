@@ -1,0 +1,123 @@
+"""A minimal deterministic discrete-event engine.
+
+Events are (time, priority, sequence) ordered: ties in time break by
+priority (lower first), then by insertion order, which makes runs fully
+reproducible.  Callbacks receive the simulation so they can schedule
+follow-up events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+EventCallback = Callable[["Simulation"], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    priority: int
+    seq: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """A cancellable priority queue of timed events."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._seq = 0
+
+    def push(self, time: float, callback: EventCallback,
+             priority: int = 0) -> _Event:
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time!r}")
+        event = _Event(time=time, priority=priority, seq=self._seq,
+                       callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> _Event | None:
+        """Next live event, or None if the queue is drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def __len__(self) -> int:
+        return sum(not e.cancelled for e in self._heap)
+
+    def __bool__(self) -> bool:
+        return any(not e.cancelled for e in self._heap)
+
+
+class Simulation:
+    """Clock plus event queue; the single source of simulated time."""
+
+    #: Priority classes: bus grants before snoop bookkeeping before
+    #: processor-side events at equal timestamps, so cache-priority
+    #: semantics (Section 2.1) hold even on ties.
+    PRIORITY_BUS = 0
+    PRIORITY_SNOOP = 1
+    PRIORITY_PROCESSOR = 2
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.events = EventQueue()
+        self._stopped = False
+
+    def schedule(self, delay: float, callback: EventCallback,
+                 priority: int = PRIORITY_PROCESSOR) -> _Event:
+        """Schedule ``callback`` at now + delay."""
+        if delay < 0.0:
+            raise ValueError(f"cannot schedule in the past (delay={delay!r})")
+        return self.events.push(self.now + delay, callback, priority)
+
+    def schedule_at(self, time: float, callback: EventCallback,
+                    priority: int = PRIORITY_PROCESSOR) -> _Event:
+        """Schedule ``callback`` at an absolute time >= now."""
+        if time < self.now - 1e-9:
+            raise ValueError(f"cannot schedule at {time} before now={self.now}")
+        return self.events.push(max(time, self.now), callback, priority)
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event."""
+        self._stopped = True
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> int:
+        """Process events in order; returns the number processed.
+
+        Stops when the queue drains, ``until`` is passed, ``max_events``
+        is reached, or :meth:`stop` is called from a callback.
+        """
+        processed = 0
+        self._stopped = False
+        while not self._stopped:
+            if max_events is not None and processed >= max_events:
+                break
+            event = self.events.pop()
+            if event is None:
+                break
+            if until is not None and event.time > until:
+                # Not consumed: push back for a later run() call.
+                self.events.push(event.time, event.callback, event.priority)
+                self.now = until
+                break
+            assert event.time >= self.now - 1e-9, "time went backwards"
+            self.now = max(self.now, event.time)
+            event.callback(self)
+            processed += 1
+        return processed
+
+
+def cancel(event: Any) -> None:
+    """Cancel a previously scheduled event (lazy removal)."""
+    event.cancelled = True

@@ -1,0 +1,321 @@
+"""Discrete-event model of the two-level bus hierarchy.
+
+Validates :class:`repro.hierarchy.HierarchicalMVAModel` the same way
+the flat simulator validates the flat MVA: same derived inputs, same
+escape probabilities, deterministic occupancies, seeded outcome
+sampling.  The simulator models *split* (pended) transactions -- an
+escaping request releases its cluster bus while it queues for the
+global bus -- matching the extension's default; cluster-cache hits and
+in-cluster supplies are resolved by the same escape sampling the MVA
+uses.
+
+Topology: C cluster buses (one per cluster of K processors), one global
+bus, and the interleaved memory bank behind the global bus (behind the
+single bus when C = 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hierarchy.model import HierarchicalMVAModel
+from repro.hierarchy.params import HierarchyParams
+from repro.protocols.modifications import ProtocolSpec
+from repro.sim.bus import Bus, BusRequest
+from repro.sim.cache import CacheController
+from repro.sim.engine import Simulation
+from repro.sim.memory import MemoryBank
+from repro.sim.processor import Processor
+from repro.sim.stats import BatchMeans, Welford
+from repro.workload.derived import derive_inputs
+from repro.workload.parameters import ArchitectureParams, WorkloadParameters
+from repro.workload.streams import ReferenceOutcome, ReferenceStream, RequestKind
+
+SNOOP_ACTION_CYCLES = 1.0
+
+
+@dataclass(frozen=True)
+class HierarchicalSimConfig:
+    """Run configuration for the hierarchical simulator."""
+
+    hierarchy: HierarchyParams
+    workload: WorkloadParameters
+    protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
+    arch: ArchitectureParams = field(default_factory=ArchitectureParams)
+    seed: int = 31337
+    warmup_requests: int = 5_000
+    measured_requests: int = 50_000
+    n_batches: int = 10
+
+    def __post_init__(self) -> None:
+        if self.warmup_requests < 0 or self.measured_requests < 1:
+            raise ValueError("bad warmup/measured request counts")
+
+
+@dataclass(frozen=True)
+class HierarchicalSimResult:
+    """MVA-comparable estimates from one hierarchical run."""
+
+    params: HierarchyParams
+    requests_measured: int
+    mean_cycle_time: float
+    speedup: float
+    speedup_ci_halfwidth: float
+    u_local_bus: float      # mean over cluster buses
+    u_global_bus: float
+    w_local_bus: float
+    w_global_bus: float
+
+    def summary(self) -> str:
+        return (f"hier C={self.params.clusters} K={self.params.per_cluster}: "
+                f"speedup={self.speedup:.3f}±{self.speedup_ci_halfwidth:.3f} "
+                f"U_local={self.u_local_bus:.3f} U_global={self.u_global_bus:.3f}")
+
+
+class HierarchicalBusSimulator:
+    """Event-driven model of the clustered machine."""
+
+    def __init__(self, config: HierarchicalSimConfig):
+        self.config = config
+        hier = config.hierarchy
+        workload = config.protocol.adjust_workload(config.workload)
+        self.inputs = derive_inputs(workload, config.arch,
+                                    config.protocol.mod_numbers)
+        # Reuse the analytic escape probabilities so the two models
+        # sample the same routing distribution.
+        reference_model = HierarchicalMVAModel(
+            config.workload, hier, protocol=config.protocol,
+            arch=config.arch)
+        self.p_read_escape = reference_model.p_read_escape
+        self.p_bc_escape = reference_model.p_bc_escape
+
+        self._rng = np.random.default_rng(config.seed)
+        self.sim = Simulation()
+        n = hier.n_processors
+        self.local_buses = [Bus() for _ in range(hier.clusters)]
+        self.global_bus = Bus()
+        self.memory = MemoryBank(config.arch.memory_modules,
+                                 config.arch.memory_latency, self._rng)
+        self.processors = [Processor(i) for i in range(n)]
+        self.caches = [CacheController(i, supply_time=config.arch.t_supply)
+                       for i in range(n)]
+        seeds = np.random.SeedSequence(config.seed).spawn(n)
+        self.streams = [ReferenceStream(self.inputs,
+                                        rng=np.random.default_rng(s))
+                        for s in seeds]
+        self._completed = 0
+        self._measuring = config.warmup_requests == 0
+        self._measured = 0
+        self._measure_start = 0.0
+        self.cycle_batches = BatchMeans(n_batches=config.n_batches)
+
+    # -- topology helpers ----------------------------------------------------
+
+    def cluster_of(self, proc_id: int) -> int:
+        return proc_id // self.config.hierarchy.per_cluster
+
+    def cluster_peers(self, proc_id: int) -> list[int]:
+        k = self.config.hierarchy.per_cluster
+        base = self.cluster_of(proc_id) * k
+        return [j for j in range(base, base + k) if j != proc_id]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def run(self) -> HierarchicalSimResult:
+        for proc_id in range(self.config.hierarchy.n_processors):
+            self._begin_cycle(proc_id)
+        self.sim.run()
+        return self._collect()
+
+    def _begin_cycle(self, proc_id: int) -> None:
+        burst = self.streams[proc_id].execution_cycles()
+        self.processors[proc_id].begin_cycle(self.sim.now, burst)
+        self.sim.schedule(burst, lambda sim: self._fire_request(proc_id),
+                          Simulation.PRIORITY_PROCESSOR)
+
+    def _fire_request(self, proc_id: int) -> None:
+        outcome = self.streams[proc_id].sample()
+        self.processors[proc_id].begin_wait()
+        if outcome.kind is RequestKind.LOCAL:
+            cache = self.caches[proc_id]
+            token = cache.begin_local_wait(self.sim.now)
+            self._poll_local(proc_id, token)
+            return
+        request = BusRequest(
+            cache_id=proc_id, outcome=outcome, enqueue_time=self.sim.now,
+            on_complete=self._local_phase_done,
+            tag=self._sample_escape(outcome))
+        bus = self.local_buses[self.cluster_of(proc_id)]
+        bus.submit(self.sim, request, self._local_grant_fn(bus))
+
+    def _sample_escape(self, outcome: ReferenceOutcome) -> bool:
+        if self.config.hierarchy.is_flat:
+            return False
+        p = (self.p_bc_escape if outcome.kind is RequestKind.BROADCAST
+             else self.p_read_escape)
+        return bool(self._rng.random() < p)
+
+    # -- local bus phase ---------------------------------------------------------
+
+    def _local_grant_fn(self, bus: Bus):
+        def grant(sim: Simulation, request: BusRequest) -> None:
+            self._grant_local(sim, request, bus, grant)
+        return grant
+
+    def _grant_local(self, sim: Simulation, request: BusRequest, bus: Bus,
+                     grant) -> None:
+        arch = self.config.arch
+        hier = self.config.hierarchy
+        overhead = hier.global_overhead_cycles
+        outcome = request.outcome
+        escapes = bool(request.tag)
+        if hier.is_flat:
+            duration = self._flat_service(outcome)
+        elif outcome.kind is RequestKind.BROADCAST:
+            duration = self.inputs.t_bc + (overhead if escapes else 0.0)
+        else:
+            duration = arch.cache_supply_cycles + (overhead if escapes else 0.0)
+        if outcome.shared:
+            self._snoop_cluster(request.cache_id, duration, outcome)
+        request.duration = duration
+        sim.schedule(duration, lambda s: bus.complete(s, grant),
+                     Simulation.PRIORITY_BUS)
+
+    def _flat_service(self, outcome: ReferenceOutcome) -> float:
+        """C = 1: the single bus carries the full flat-model occupancy."""
+        if outcome.kind is RequestKind.BROADCAST:
+            duration = self.inputs.t_bc
+            if self.inputs.bc_updates_memory:
+                duration += self.memory.write(self.sim.now)
+            return duration
+        t_block = self.config.arch.block_transfer_cycles
+        if outcome.supplier_writeback and 2 in self.inputs.mods:
+            duration = self.config.arch.cache_supply_cycles
+        else:
+            duration = self.config.arch.base_read_cycles
+            if outcome.supplier_writeback:
+                duration += t_block
+                self.memory.write(self.sim.now)
+        if outcome.req_writeback:
+            duration += t_block
+            self.memory.write(self.sim.now)
+        return duration
+
+    def _snoop_cluster(self, proc_id: int, duration: float,
+                       outcome: ReferenceOutcome) -> None:
+        hp = self.inputs.holder_probability
+        busy = (duration if outcome.cache_supplied else SNOOP_ACTION_CYCLES)
+        for j in self.cluster_peers(proc_id):
+            if self._rng.random() < hp:
+                self.caches[j].add_snoop_work(self.sim.now, min(busy, duration))
+
+    def _local_phase_done(self, sim: Simulation, request: BusRequest) -> None:
+        escapes = bool(request.tag)
+        if not escapes:
+            self._finish_request(sim, request.cache_id)
+            return
+        global_request = BusRequest(
+            cache_id=request.cache_id, outcome=request.outcome,
+            enqueue_time=sim.now,
+            on_complete=lambda s, r: self._finish_request(s, r.cache_id))
+        self.global_bus.submit(sim, global_request, self._grant_global)
+
+    # -- global bus phase -----------------------------------------------------------
+
+    def _grant_global(self, sim: Simulation, request: BusRequest) -> None:
+        arch = self.config.arch
+        overhead = self.config.hierarchy.global_overhead_cycles
+        outcome = request.outcome
+        if outcome.kind is RequestKind.BROADCAST:
+            duration = self.inputs.t_bc + overhead
+            if self.inputs.bc_updates_memory:
+                duration += self.memory.write(sim.now)
+        else:
+            duration = self.inputs.t_read + overhead
+            if outcome.supplier_writeback and 2 not in self.inputs.mods:
+                self.memory.write(sim.now)
+            if outcome.req_writeback:
+                self.memory.write(sim.now)
+        request.duration = duration
+        sim.schedule(duration,
+                     lambda s: self.global_bus.complete(s, self._grant_global),
+                     Simulation.PRIORITY_BUS)
+
+    # -- completion --------------------------------------------------------------------
+
+    def _poll_local(self, proc_id: int, token: int) -> None:
+        cache = self.caches[proc_id]
+        if not cache.pending_token_valid(token):
+            return
+        completion = cache.try_start_local(self.sim.now)
+        if completion is None:
+            self.sim.schedule_at(cache.busy_until,
+                                 lambda sim: self._poll_local(proc_id, token),
+                                 Simulation.PRIORITY_PROCESSOR)
+            return
+        cache.finish_local_wait(self.sim.now)
+        self.sim.schedule_at(completion,
+                             lambda sim: self._complete(proc_id),
+                             Simulation.PRIORITY_PROCESSOR)
+
+    def _finish_request(self, sim: Simulation, proc_id: int) -> None:
+        sim.schedule(self.config.arch.t_supply,
+                     lambda s: self._complete(proc_id),
+                     Simulation.PRIORITY_PROCESSOR)
+
+    def _complete(self, proc_id: int) -> None:
+        cycle = self.processors[proc_id].complete_cycle(self.sim.now)
+        self._completed += 1
+        if self._measuring:
+            self.cycle_batches.add(cycle)
+            self._measured += 1
+            if self._measured >= self.config.measured_requests:
+                self.sim.stop()
+        elif self._completed >= self.config.warmup_requests:
+            self._measuring = True
+            self._measure_start = self.sim.now
+            for bus in [*self.local_buses, self.global_bus]:
+                bus.reset_statistics(self.sim.now)
+            self.memory.reset_statistics(self.sim.now)
+            for proc in self.processors:
+                proc.reset_statistics()
+            for cache in self.caches:
+                cache.reset_statistics()
+        self._begin_cycle(proc_id)
+
+    def _collect(self) -> HierarchicalSimResult:
+        cfg = self.config
+        now = self.sim.now
+        merged = Welford()
+        for proc in self.processors:
+            merged = merged.merge(proc.cycle_stats)
+        r_mean = merged.mean
+        workload = cfg.protocol.adjust_workload(cfg.workload)
+        ideal = workload.tau + cfg.arch.t_supply
+        n = cfg.hierarchy.n_processors
+        speedup = n * ideal / r_mean if r_mean else 0.0
+        half, batch_mean = self.cycle_batches.confidence_interval()
+        ci = (n * ideal * half / (batch_mean ** 2)
+              if batch_mean > 0.0 else 0.0)
+        local_utils = [bus.utilization(now) for bus in self.local_buses]
+        local_waits = Welford()
+        for bus in self.local_buses:
+            local_waits = local_waits.merge(bus.wait_stats)
+        return HierarchicalSimResult(
+            params=cfg.hierarchy,
+            requests_measured=merged.count,
+            mean_cycle_time=r_mean,
+            speedup=speedup,
+            speedup_ci_halfwidth=ci,
+            u_local_bus=sum(local_utils) / len(local_utils),
+            u_global_bus=self.global_bus.utilization(now),
+            w_local_bus=local_waits.mean,
+            w_global_bus=self.global_bus.wait_stats.mean,
+        )
+
+
+def simulate_hierarchy(config: HierarchicalSimConfig) -> HierarchicalSimResult:
+    """Build, run, and collect one hierarchical simulation."""
+    return HierarchicalBusSimulator(config).run()

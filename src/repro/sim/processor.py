@@ -1,0 +1,53 @@
+"""Processor model: think, request, stall, repeat.
+
+"A processor executes for a variable number of cycles, assumed to be
+exponentially distributed with mean tau, between memory requests.
+Useful execution is not overlapped with fetching data from memory"
+(Section 2.1).  Each processor records the full cycle time of every
+request -- execution burst + response + cache supply -- whose mean is
+the MVA's R.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.sim.stats import Welford
+
+
+class ProcessorState(enum.Enum):
+    EXECUTING = "executing"
+    WAITING = "waiting"
+
+
+class Processor:
+    """One processor's state and per-request cycle statistics."""
+
+    def __init__(self, proc_id: int):
+        self.proc_id = proc_id
+        self.state = ProcessorState.EXECUTING
+        self.cycle_start = 0.0
+        self.requests_completed = 0
+        self.cycle_stats = Welford()
+        self.busy_cycles = 0.0  # useful execution time accumulated
+
+    def begin_cycle(self, now: float, burst: float) -> None:
+        """Start an execution burst; the memory request fires after it."""
+        self.state = ProcessorState.EXECUTING
+        self.cycle_start = now
+        self.busy_cycles += burst
+
+    def begin_wait(self) -> None:
+        self.state = ProcessorState.WAITING
+
+    def complete_cycle(self, now: float) -> float:
+        """The request was satisfied; returns this cycle's total time."""
+        cycle = now - self.cycle_start
+        self.cycle_stats.add(cycle)
+        self.requests_completed += 1
+        return cycle
+
+    def reset_statistics(self) -> None:
+        self.cycle_stats = Welford()
+        self.requests_completed = 0
+        self.busy_cycles = 0.0

@@ -1,0 +1,334 @@
+"""The assembled multiprocessor simulation.
+
+:class:`SnoopingBusSimulator` wires processors, caches, the FCFS bus and
+the memory bank together and drives them with sampled reference
+outcomes.  Timing semantics deliberately mirror the MVA's structure
+(DESIGN.md Section 5 item 5):
+
+* broadcast: bus held for (module wait +) one write-word / invalidate
+  cycle; snooping caches holding the block are busy one cycle;
+* remote read: bus held for the deterministic transfer decomposition
+  (address + latency + block, plus supplier-flush and replacement
+  write-back transfers); a supplying cache is busy for the whole
+  transaction, other holders for one cycle;
+* every satisfied request ends with the one-cycle cache supply to the
+  processor.
+
+so that discrepancies between simulator and MVA measure the *queueing
+approximations* of the paper (arrival theorem, residual life, geometric
+interference), not differences in assumed hardware timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.protocols.modifications import Modification
+from repro.sim.bus import Bus, BusRequest
+from repro.sim.cache import CacheController
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulation
+from repro.sim.memory import MemoryBank
+from repro.sim.processor import Processor
+from repro.sim.stats import BatchMeans, Welford
+from repro.workload.derived import DerivedInputs, derive_inputs
+from repro.workload.streams import ReferenceOutcome, ReferenceStream, RequestKind
+
+#: Cache occupancy of a one-cycle snoop action (invalidate / update /
+#: share-line response), the "1.0" leading t_interference in Appendix B.
+SNOOP_ACTION_CYCLES = 1.0
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Steady-state estimates from one run, MVA-comparable."""
+
+    n_processors: int
+    protocol_label: str
+    sharing_label: str
+    requests_measured: int
+    elapsed_cycles: float
+    mean_cycle_time: float           # the MVA's R
+    speedup: float
+    speedup_ci_halfwidth: float
+    processing_power: float
+    u_bus: float
+    u_mem: float
+    w_bus: float
+    w_bus_stddev: float
+    q_bus_seen: float
+    mean_interference_wait: float
+    bus_transactions: int
+    #: Mean response per request kind (net of the supply cycle), keyed
+    #: by RequestKind value; compare with the MVA's per-class terms.
+    response_by_kind: dict[str, float]
+
+    def summary(self) -> str:
+        return (f"{self.protocol_label} N={self.n_processors} "
+                f"({self.sharing_label} sharing): "
+                f"speedup={self.speedup:.3f}±{self.speedup_ci_halfwidth:.3f} "
+                f"U_bus={self.u_bus:.3f} w_bus={self.w_bus:.3f} "
+                f"[{self.requests_measured} requests]")
+
+
+class SnoopingBusSimulator:
+    """Discrete-event model of the Figure 2.1 multiprocessor."""
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+        workload = config.effective_workload
+        self.inputs: DerivedInputs = derive_inputs(
+            workload, config.arch, config.protocol.mod_numbers,
+            holder_probability=(config.holder_probability
+                                if config.holder_probability is not None
+                                else 0.5))
+        self._rng = np.random.default_rng(config.seed)
+        self.sim = Simulation()
+        self.bus = Bus(discipline=config.bus_discipline, rng=self._rng)
+        self.memory = MemoryBank(config.arch.memory_modules,
+                                 config.arch.memory_latency, self._rng)
+        n = config.n_processors
+        self.processors = [Processor(i) for i in range(n)]
+        self.caches = [CacheController(i, supply_time=config.arch.t_supply)
+                       for i in range(n)]
+        seeds = np.random.SeedSequence(config.seed).spawn(n)
+        self.streams = [ReferenceStream(self.inputs,
+                                        rng=np.random.default_rng(s))
+                        for s in seeds]
+        self._completed_total = 0
+        self._measuring = config.warmup_requests == 0
+        self._measured = 0
+        self._measure_start_time = 0.0
+        self.cycle_batches = BatchMeans(n_batches=config.n_batches)
+        #: (kind, fire time) of the request each processor is stalled on.
+        self._inflight: list[tuple[RequestKind, float] | None] = [None] * n
+        #: Mean response per request kind, net of the cache supply cycle
+        #: -- directly comparable to the MVA's per-class components:
+        #: LOCAL ~ n_int * t_int, BROADCAST ~ w_bus + w_mem + t_bc,
+        #: REMOTE_READ ~ w_bus + t_read.
+        self.response_by_kind: dict[RequestKind, Welford] = {
+            kind: Welford() for kind in RequestKind}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run warm-up plus measurement and return the estimates."""
+        for proc_id in range(self.config.n_processors):
+            self._begin_cycle(proc_id)
+        self.sim.run()
+        return self._collect()
+
+    def _begin_cycle(self, proc_id: int) -> None:
+        burst = self.streams[proc_id].execution_cycles()
+        self.processors[proc_id].begin_cycle(self.sim.now, burst)
+        self.sim.schedule(burst, lambda sim: self._fire_request(proc_id),
+                          Simulation.PRIORITY_PROCESSOR)
+
+    def _fire_request(self, proc_id: int) -> None:
+        outcome = self.streams[proc_id].sample()
+        self.processors[proc_id].begin_wait()
+        self._inflight[proc_id] = (outcome.kind, self.sim.now)
+        if outcome.kind is RequestKind.LOCAL:
+            cache = self.caches[proc_id]
+            token = cache.begin_local_wait(self.sim.now)
+            self._poll_local(proc_id, token)
+        else:
+            request = BusRequest(
+                cache_id=proc_id,
+                outcome=outcome,
+                enqueue_time=self.sim.now,
+                on_complete=self._bus_request_done,
+            )
+            self.bus.submit(self.sim, request, self._grant)
+
+    # -- local requests (cache interference) --------------------------------
+
+    def _poll_local(self, proc_id: int, token: int) -> None:
+        cache = self.caches[proc_id]
+        if not cache.pending_token_valid(token):
+            return
+        completion = cache.try_start_local(self.sim.now)
+        if completion is None:
+            # Snoop work in progress; re-poll when the horizon passes.
+            self.sim.schedule_at(
+                cache.busy_until,
+                lambda sim: self._poll_local(proc_id, token),
+                Simulation.PRIORITY_PROCESSOR)
+            return
+        cache.finish_local_wait(self.sim.now)
+        self.sim.schedule_at(completion,
+                             lambda sim: self._complete_request(proc_id),
+                             Simulation.PRIORITY_PROCESSOR)
+
+    # -- bus transactions ----------------------------------------------------
+
+    def _grant(self, sim: Simulation, request: BusRequest) -> None:
+        duration = self._service(request)
+        request.duration = duration
+        sim.schedule(duration,
+                     lambda s: self.bus.complete(s, self._grant),
+                     Simulation.PRIORITY_BUS)
+
+    def _bus_request_done(self, sim: Simulation, request: BusRequest) -> None:
+        # The cache answers the processor one supply cycle later.
+        sim.schedule(self.config.arch.t_supply,
+                     lambda s: self._complete_request(request.cache_id),
+                     Simulation.PRIORITY_PROCESSOR)
+
+    def _service(self, request: BusRequest) -> float:
+        """Bus occupancy of one transaction, with memory/snoop side effects."""
+        outcome = request.outcome
+        now = self.sim.now
+        if outcome.kind is RequestKind.BROADCAST:
+            return self._service_broadcast(now, request.cache_id, outcome)
+        return self._service_remote_read(now, request.cache_id, outcome)
+
+    def _service_broadcast(self, now: float, cache_id: int,
+                           outcome: ReferenceOutcome) -> float:
+        duration = self.inputs.t_bc
+        if self.inputs.bc_updates_memory:
+            # The bus is held while the target module drains (equation 7).
+            duration += self.memory.write(now)
+        if outcome.shared:
+            self._snoop_holders(now, cache_id, SNOOP_ACTION_CYCLES)
+        return duration
+
+    def _service_remote_read(self, now: float, cache_id: int,
+                             outcome: ReferenceOutcome) -> float:
+        arch = self.config.arch
+        mods = self.inputs.mods
+        t_block = arch.block_transfer_cycles
+        direct_supply = (outcome.supplier_writeback
+                         and Modification.CACHE_TO_CACHE_SUPPLY.value in mods)
+        if direct_supply:
+            duration = arch.cache_supply_cycles
+        else:
+            duration = arch.base_read_cycles
+            if self.config.model_read_memory_contention:
+                # Optional extra detail the MVA deliberately omits: the
+                # read waits for (and occupies) its target module.
+                duration += self.memory.write(now)
+            if outcome.supplier_writeback:
+                # Write-Once: the owner flushes the block to memory first.
+                duration += t_block
+                self.memory.write(now)
+        if outcome.req_writeback:
+            duration += t_block
+            self.memory.write(now)
+        if outcome.shared:
+            holders = self._snoop_holders(now, cache_id, SNOOP_ACTION_CYCLES,
+                                          skip_one_for_supplier=outcome.cache_supplied)
+            if outcome.cache_supplied:
+                supplier = self._pick_supplier(cache_id, holders)
+                if supplier is not None:
+                    # The supplier is tied up for the whole transaction
+                    # (Appendix B's p' events).
+                    self.caches[supplier].add_snoop_work(now, duration)
+        return duration
+
+    def _snoop_holders(self, now: float, cache_id: int, duration: float,
+                       skip_one_for_supplier: bool = False) -> list[int]:
+        """Each other cache holds a shared block w.p.
+        ``inputs.holder_probability`` (Appendix B's 0.5, or the refined
+        N-dependent residency) and spends ``duration`` reacting.
+        Returns the holders; when a supplier will be charged separately,
+        one slot is left to it."""
+        hp = self.inputs.holder_probability
+        holders = [j for j in range(self.config.n_processors)
+                   if j != cache_id and self._rng.random() < hp]
+        reacting = holders[1:] if (skip_one_for_supplier and holders) else holders
+        for j in reacting:
+            self.caches[j].add_snoop_work(now, duration)
+        return holders
+
+    def _pick_supplier(self, cache_id: int, holders: list[int]) -> int | None:
+        """The cache that sources the block: a sampled holder if any, else
+        a random other cache (the holder sample and the csupply outcome
+        are drawn independently).  None in a single-cache system, where
+        the sampled supply outcome only affects timing."""
+        if holders:
+            return holders[0]
+        others = [j for j in range(self.config.n_processors) if j != cache_id]
+        if not others:
+            return None
+        return int(self._rng.choice(others))
+
+    # -- completion & bookkeeping --------------------------------------------
+
+    def _complete_request(self, proc_id: int) -> None:
+        cycle = self.processors[proc_id].complete_cycle(self.sim.now)
+        inflight = self._inflight[proc_id]
+        if inflight is not None and self._measuring:
+            kind, fired_at = inflight
+            response = self.sim.now - fired_at - self.config.arch.t_supply
+            self.response_by_kind[kind].add(max(response, 0.0))
+        self._inflight[proc_id] = None
+        self._completed_total += 1
+        if self._measuring:
+            self.cycle_batches.add(cycle)
+            self._measured += 1
+            if self._measured >= self.config.measured_requests:
+                self.sim.stop()
+        elif self._completed_total >= self.config.warmup_requests:
+            self._start_measurement()
+        self._begin_cycle(proc_id)
+
+    def _start_measurement(self) -> None:
+        self._measuring = True
+        now = self.sim.now
+        self._measure_start_time = now
+        self.bus.reset_statistics(now)
+        self.memory.reset_statistics(now)
+        for cache in self.caches:
+            cache.reset_statistics()
+        for proc in self.processors:
+            proc.reset_statistics()
+
+    def _collect(self) -> SimulationResult:
+        cfg = self.config
+        now = self.sim.now
+        elapsed = now - self._measure_start_time
+        merged = Welford()
+        for proc in self.processors:
+            merged = merged.merge(proc.cycle_stats)
+        r_mean = merged.mean if merged.count else float("nan")
+        workload = cfg.effective_workload
+        ideal = workload.tau + cfg.arch.t_supply
+        speedup = cfg.n_processors * ideal / r_mean if r_mean else 0.0
+        half, batch_mean = self.cycle_batches.confidence_interval()
+        # Propagate the CI through speedup = c / R (delta method on 1/R).
+        speedup_half = (cfg.n_processors * ideal * half / (batch_mean ** 2)
+                        if batch_mean > 0.0 else 0.0)
+        power = (sum(p.busy_cycles for p in self.processors) / elapsed
+                 if elapsed > 0.0 else 0.0)
+        interference = Welford()
+        for cache in self.caches:
+            interference = interference.merge(cache.interference_stats)
+        return SimulationResult(
+            n_processors=cfg.n_processors,
+            protocol_label=cfg.protocol.label,
+            sharing_label=f"{cfg.workload.sharing_fraction * 100:g}%",
+            requests_measured=merged.count,
+            elapsed_cycles=elapsed,
+            mean_cycle_time=r_mean,
+            speedup=speedup,
+            speedup_ci_halfwidth=speedup_half,
+            processing_power=power,
+            u_bus=self.bus.utilization(now),
+            u_mem=self.memory.utilization(now),
+            w_bus=self.bus.wait_stats.mean,
+            w_bus_stddev=self.bus.wait_stats.stddev,
+            q_bus_seen=self.bus.seen_queue_stats.mean,
+            mean_interference_wait=interference.mean,
+            bus_transactions=self.bus.transactions,
+            response_by_kind={kind.value: stats.mean
+                              for kind, stats in self.response_by_kind.items()
+                              if stats.count},
+        )
+
+
+def simulate(config: SimulationConfig) -> SimulationResult:
+    """Build, run, and collect one simulation."""
+    return SnoopingBusSimulator(config).run()

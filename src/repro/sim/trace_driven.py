@@ -1,0 +1,369 @@
+"""Trace-driven timing simulation (the Archibald & Baer methodology).
+
+The paper's Section 4.4 compares its models against Archibald & Baer's
+*trace-driven simulation* study.  This module implements that third
+kind of comparator: no Appendix-A probabilities anywhere -- processors
+issue references from a synthetic address trace, per-cache LRU
+set-associative state machines run the actual coherence protocol
+(Write-Once plus any modification subset), and hits, sharing, supplier
+write-backs and replacement write-backs all *emerge* from cache state.
+
+Timing uses the same deterministic bus occupancies as the rest of the
+repository (address + latency + block transfer, flush and write-back
+transfers, write-word/invalidate cycles), so the trace-driven results
+are directly comparable to the MVA fed with parameters *measured from
+the same trace* (``repro.trace.WorkloadEstimator``) -- the end-to-end
+loop the paper's conclusion sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.protocols.modifications import Modification, ProtocolSpec
+from repro.protocols.states import BlockState
+from repro.sim.bus import Bus, BusRequest
+from repro.sim.cache import CacheController
+from repro.sim.engine import Simulation
+from repro.sim.memory import MemoryBank
+from repro.sim.processor import Processor
+from repro.sim.stats import BatchMeans, Welford
+from repro.trace.generator import GeneratorConfig, SyntheticTraceGenerator
+from repro.workload.parameters import ArchitectureParams
+from repro.workload.streams import ReferenceOutcome, RequestKind
+
+
+@dataclass
+class _Line:
+    block: int
+    state: BlockState
+
+    @property
+    def dirty(self) -> bool:
+        return self.state.wback
+
+
+class ProtocolCache:
+    """LRU set-associative cache whose lines carry protocol states."""
+
+    def __init__(self, n_sets: int, associativity: int):
+        if n_sets < 1 or associativity < 1:
+            raise ValueError("n_sets and associativity must be >= 1")
+        self.n_sets = n_sets
+        self.associativity = associativity
+        self._sets: list[list[_Line]] = [[] for _ in range(n_sets)]
+
+    def _set_of(self, block: int) -> list[_Line]:
+        return self._sets[block % self.n_sets]
+
+    def find(self, block: int) -> _Line | None:
+        for line in self._set_of(block):
+            if line.block == block:
+                return line
+        return None
+
+    def touch(self, block: int) -> None:
+        """Refresh LRU recency of a resident block."""
+        lines = self._set_of(block)
+        for line in lines:
+            if line.block == block:
+                lines.remove(line)
+                lines.append(line)
+                return
+
+    def fill(self, block: int, state: BlockState) -> _Line | None:
+        """Insert a block, returning the evicted line (if any)."""
+        lines = self._set_of(block)
+        victim = lines.pop(0) if len(lines) >= self.associativity else None
+        lines.append(_Line(block=block, state=state))
+        return victim
+
+    def drop(self, block: int) -> None:
+        lines = self._set_of(block)
+        for line in lines:
+            if line.block == block:
+                lines.remove(line)
+                return
+
+
+@dataclass(frozen=True)
+class TraceDrivenConfig:
+    """Configuration of a trace-driven run."""
+
+    generator: GeneratorConfig
+    protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
+    arch: ArchitectureParams = field(default_factory=ArchitectureParams)
+    n_sets: int = 256
+    associativity: int = 4
+    tau: float = 2.5
+    warmup_requests: int = 10_000
+    measured_requests: int = 60_000
+    n_batches: int = 10
+
+    def __post_init__(self) -> None:
+        if self.n_sets < 1 or self.associativity < 1:
+            raise ValueError("n_sets and associativity must be >= 1")
+        if self.tau < 0.0:
+            raise ValueError("tau must be non-negative")
+        if self.measured_requests < 1:
+            raise ValueError("measured_requests must be >= 1")
+
+
+@dataclass(frozen=True)
+class TraceDrivenResult:
+    """Measured performance of the trace-driven run."""
+
+    n_processors: int
+    protocol_label: str
+    requests_measured: int
+    mean_cycle_time: float
+    speedup: float
+    speedup_ci_halfwidth: float
+    u_bus: float
+    w_bus: float
+    hit_rate: float
+    bus_transactions: int
+
+    def summary(self) -> str:
+        return (f"trace-driven {self.protocol_label} "
+                f"N={self.n_processors}: speedup={self.speedup:.3f}"
+                f"±{self.speedup_ci_halfwidth:.3f} hit={self.hit_rate:.3f} "
+                f"U_bus={self.u_bus:.3f}")
+
+
+class TraceDrivenSimulator:
+    """Processors + protocol caches + FCFS bus, driven by a trace."""
+
+    def __init__(self, config: TraceDrivenConfig):
+        self.config = config
+        self.generator = SyntheticTraceGenerator(config.generator)
+        n = config.generator.n_processors
+        self._rng = np.random.default_rng(config.generator.seed + 1)
+        self.sim = Simulation()
+        self.bus = Bus()
+        self.memory = MemoryBank(config.arch.memory_modules,
+                                 config.arch.memory_latency, self._rng)
+        self.processors = [Processor(i) for i in range(n)]
+        self.snoops = [CacheController(i, supply_time=config.arch.t_supply)
+                       for i in range(n)]
+        self.caches = [ProtocolCache(config.n_sets, config.associativity)
+                       for _ in range(n)]
+        self._completed = 0
+        self._measuring = config.warmup_requests == 0
+        self._measured = 0
+        self._measure_start = 0.0
+        self._hits = 0
+        self._refs = 0
+        self.cycle_batches = BatchMeans(n_batches=config.n_batches)
+
+    def _has(self, mod: Modification) -> bool:
+        return mod in self.config.protocol.mods
+
+    # -- protocol resolution ---------------------------------------------------
+
+    def holders_of(self, block: int, except_cpu: int) -> list[int]:
+        return [i for i, cache in enumerate(self.caches)
+                if i != except_cpu and cache.find(block) is not None]
+
+    def resolve(self, cpu: int, block: int, is_write: bool) -> tuple[
+            RequestKind, float, list[tuple[int, float]]]:
+        """Apply the protocol and return (kind, bus occupancy,
+        [(snooping cache, busy cycles), ...]).  All state changes happen
+        here, at issue time; the bus replay is purely temporal, which is
+        the standard trace-driven simplification."""
+        cache = self.caches[cpu]
+        line = cache.find(block)
+        self._refs += 1
+        if line is not None:
+            self._hits += 1
+            cache.touch(block)
+            if not is_write:
+                return RequestKind.LOCAL, 0.0, []
+            if line.state.writable_without_bus:
+                line.state = BlockState.EXCLUSIVE_WBACK
+                return RequestKind.LOCAL, 0.0, []
+            return self._write_to_shared(cpu, block, line)
+        return self._miss(cpu, block, is_write)
+
+    def _write_to_shared(self, cpu: int, block: int, line: _Line):
+        arch = self.config.arch
+        holders = self.holders_of(block, cpu)
+        snoops = [(j, arch.invalidate_cycles) for j in holders]
+        if self._has(Modification.WRITE_BROADCAST):
+            # Copies stay valid; memory updated unless mod 3 too.
+            if self._has(Modification.INVALIDATE_INSTEAD_OF_WRITE_WORD):
+                line.state = (BlockState.SHARED_WBACK if holders
+                              else BlockState.EXCLUSIVE_WBACK)
+                for j in holders:
+                    other = self.caches[j].find(block)
+                    if other is not None and other.state.wback:
+                        other.state = BlockState.SHARED_CLEAN
+                occupancy = arch.write_word_cycles
+            else:
+                occupancy = arch.write_word_cycles + self.memory.write(self.sim.now)
+            return RequestKind.BROADCAST, occupancy, snoops
+        # Invalidation protocols: other copies die.
+        for j in holders:
+            self.caches[j].drop(block)
+        if self._has(Modification.INVALIDATE_INSTEAD_OF_WRITE_WORD):
+            line.state = BlockState.EXCLUSIVE_WBACK
+            occupancy = arch.invalidate_cycles
+        else:
+            line.state = (BlockState.EXCLUSIVE_WBACK if line.state.wback
+                          else BlockState.EXCLUSIVE_CLEAN)
+            occupancy = arch.write_word_cycles + self.memory.write(self.sim.now)
+        return RequestKind.BROADCAST, occupancy, snoops
+
+    def _miss(self, cpu: int, block: int, is_write: bool):
+        arch = self.config.arch
+        holders = self.holders_of(block, cpu)
+        owner = next((j for j in holders
+                      if self.caches[j].find(block).state.wback), None)
+        snoops: list[tuple[int, float]] = []
+        occupancy = arch.base_read_cycles
+        if owner is not None:
+            owner_line = self.caches[owner].find(block)
+            if self._has(Modification.CACHE_TO_CACHE_SUPPLY):
+                occupancy = arch.cache_supply_cycles
+                if not is_write:
+                    owner_line.state = BlockState.SHARED_WBACK
+            else:
+                # Write-Once flush: extra block transfer, memory updated.
+                occupancy = arch.base_read_cycles + arch.block_transfer_cycles
+                self.memory.write(self.sim.now)
+                owner_line.state = BlockState.SHARED_CLEAN
+            snoops.append((owner, occupancy))
+
+        if is_write:
+            for j in holders:
+                if j != owner:
+                    snoops.append((j, arch.invalidate_cycles))
+                self.caches[j].drop(block)
+            new_state = BlockState.EXCLUSIVE_WBACK
+            kind = RequestKind.REMOTE_READ
+        else:
+            for j in holders:
+                if j != owner:
+                    snoops.append((j, 1.0))
+                    other = self.caches[j].find(block)
+                    if other is not None and other.state.exclusive:
+                        other.state = BlockState.SHARED_CLEAN
+            if holders or not self._has(Modification.EXCLUSIVE_ON_MISS):
+                new_state = BlockState.SHARED_CLEAN
+            else:
+                new_state = BlockState.EXCLUSIVE_CLEAN
+            kind = RequestKind.REMOTE_READ
+
+        victim = self.caches[cpu].fill(block, new_state)
+        if victim is not None and victim.dirty:
+            occupancy += arch.block_transfer_cycles
+            self.memory.write(self.sim.now)
+        return kind, occupancy, snoops
+
+    # -- event flow ------------------------------------------------------------
+
+    def run(self) -> TraceDrivenResult:
+        for cpu in range(self.config.generator.n_processors):
+            self._begin_cycle(cpu)
+        self.sim.run()
+        return self._collect()
+
+    def _begin_cycle(self, cpu: int) -> None:
+        burst = (float(self._rng.exponential(self.config.tau))
+                 if self.config.tau > 0.0 else 0.0)
+        self.processors[cpu].begin_cycle(self.sim.now, burst)
+        self.sim.schedule(burst, lambda sim: self._fire(cpu),
+                          Simulation.PRIORITY_PROCESSOR)
+
+    def _fire(self, cpu: int) -> None:
+        ref = self.generator.reference(cpu)
+        self.processors[cpu].begin_wait()
+        kind, occupancy, snoops = self.resolve(cpu, ref.block, ref.is_write)
+        if kind is RequestKind.LOCAL:
+            controller = self.snoops[cpu]
+            token = controller.begin_local_wait(self.sim.now)
+            self._poll_local(cpu, token)
+            return
+        for j, busy in snoops:
+            self.snoops[j].add_snoop_work(self.sim.now, busy)
+        outcome = ReferenceOutcome(kind=kind)
+        request = BusRequest(cache_id=cpu, outcome=outcome,
+                             enqueue_time=self.sim.now,
+                             on_complete=self._bus_done, tag=occupancy)
+        self.bus.submit(self.sim, request, self._grant)
+
+    def _grant(self, sim: Simulation, request: BusRequest) -> None:
+        request.duration = float(request.tag)
+        sim.schedule(request.duration,
+                     lambda s: self.bus.complete(s, self._grant),
+                     Simulation.PRIORITY_BUS)
+
+    def _bus_done(self, sim: Simulation, request: BusRequest) -> None:
+        sim.schedule(self.config.arch.t_supply,
+                     lambda s: self._complete(request.cache_id),
+                     Simulation.PRIORITY_PROCESSOR)
+
+    def _poll_local(self, cpu: int, token: int) -> None:
+        controller = self.snoops[cpu]
+        if not controller.pending_token_valid(token):
+            return
+        completion = controller.try_start_local(self.sim.now)
+        if completion is None:
+            self.sim.schedule_at(controller.busy_until,
+                                 lambda sim: self._poll_local(cpu, token),
+                                 Simulation.PRIORITY_PROCESSOR)
+            return
+        controller.finish_local_wait(self.sim.now)
+        self.sim.schedule_at(completion, lambda sim: self._complete(cpu),
+                             Simulation.PRIORITY_PROCESSOR)
+
+    def _complete(self, cpu: int) -> None:
+        cycle = self.processors[cpu].complete_cycle(self.sim.now)
+        self._completed += 1
+        if self._measuring:
+            self.cycle_batches.add(cycle)
+            self._measured += 1
+            if self._measured >= self.config.measured_requests:
+                self.sim.stop()
+        elif self._completed >= self.config.warmup_requests:
+            self._measuring = True
+            self._measure_start = self.sim.now
+            self.bus.reset_statistics(self.sim.now)
+            self.memory.reset_statistics(self.sim.now)
+            for proc in self.processors:
+                proc.reset_statistics()
+            self._hits = 0
+            self._refs = 0
+        self._begin_cycle(cpu)
+
+    def _collect(self) -> TraceDrivenResult:
+        cfg = self.config
+        merged = Welford()
+        for proc in self.processors:
+            merged = merged.merge(proc.cycle_stats)
+        r_mean = merged.mean
+        n = cfg.generator.n_processors
+        ideal = cfg.tau + cfg.arch.t_supply
+        speedup = n * ideal / r_mean if r_mean else 0.0
+        half, batch_mean = self.cycle_batches.confidence_interval()
+        ci = (n * ideal * half / (batch_mean ** 2)
+              if batch_mean > 0.0 else 0.0)
+        return TraceDrivenResult(
+            n_processors=n,
+            protocol_label=cfg.protocol.label,
+            requests_measured=merged.count,
+            mean_cycle_time=r_mean,
+            speedup=speedup,
+            speedup_ci_halfwidth=ci,
+            u_bus=self.bus.utilization(self.sim.now),
+            w_bus=self.bus.wait_stats.mean,
+            hit_rate=self._hits / self._refs if self._refs else 0.0,
+            bus_transactions=self.bus.transactions,
+        )
+
+
+def simulate_trace_driven(config: TraceDrivenConfig) -> TraceDrivenResult:
+    """Build, run, and collect one trace-driven simulation."""
+    return TraceDrivenSimulator(config).run()

@@ -1,0 +1,42 @@
+"""Workload measurement: synthetic traces -> Appendix-A parameters.
+
+The paper's conclusion: "The model can be put to good use for
+evaluating the protocols more thoroughly -- all that is needed are
+workload measurement studies to aid in the assignment of parameter
+values."  This package is that measurement pipeline:
+
+* :class:`SyntheticTraceGenerator` -- a multiprocessor address-trace
+  generator with per-stream regions (private / shared read-only /
+  shared-writable), hot-set locality, and seeded determinism;
+* :class:`SetAssociativeCache` / :class:`CoherentCacheSystem` -- an
+  LRU set-associative cache model with write-invalidate coherence and
+  dirty-bit tracking across N caches;
+* :class:`WorkloadEstimator` -- replays a trace through the cache
+  system and measures every Appendix-A parameter (hit rates, read
+  mixes, already-modified rates, cache-supply and supplier-dirty
+  probabilities, replacement write-back rates), returning a
+  :class:`~repro.workload.parameters.WorkloadParameters` ready for the
+  MVA.
+
+End-to-end use: ``examples/trace_calibration.py``.
+"""
+
+from repro.trace.generator import (
+    GeneratorConfig,
+    MemoryReference,
+    StreamKind,
+    SyntheticTraceGenerator,
+)
+from repro.trace.cache_model import CoherentCacheSystem, SetAssociativeCache
+from repro.trace.estimator import EstimationReport, WorkloadEstimator
+
+__all__ = [
+    "CoherentCacheSystem",
+    "EstimationReport",
+    "GeneratorConfig",
+    "MemoryReference",
+    "SetAssociativeCache",
+    "StreamKind",
+    "SyntheticTraceGenerator",
+    "WorkloadEstimator",
+]

@@ -1,0 +1,168 @@
+"""LRU set-associative caches with write-invalidate coherence.
+
+The cache model is deliberately protocol-agnostic: it implements the
+*state a measurement study needs* -- residency, dirtiness, invalidation
+on remote writes, dirty supply, dirty eviction -- without committing to
+one of the paper's five protocols, because the Appendix-A parameters
+(h, amod, csupply, wb_csupply, rep) are defined at exactly that level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheLine:
+    """One resident block."""
+
+    block: int
+    dirty: bool = False
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """What one cache access did."""
+
+    hit: bool
+    was_dirty: bool            # block was dirty before this access (amod)
+    evicted_block: int | None  # victim block address, if a miss evicted one
+    evicted_dirty: bool        # victim needed a write-back (rep)
+
+
+class SetAssociativeCache:
+    """A single LRU set-associative cache over block addresses."""
+
+    def __init__(self, n_sets: int, associativity: int):
+        if n_sets < 1 or associativity < 1:
+            raise ValueError("n_sets and associativity must be >= 1")
+        self.n_sets = n_sets
+        self.associativity = associativity
+        # Per set: list of CacheLine, most-recently-used last.
+        self._sets: list[list[CacheLine]] = [[] for _ in range(n_sets)]
+
+    def _set_of(self, block: int) -> list[CacheLine]:
+        return self._sets[block % self.n_sets]
+
+    def _find(self, block: int) -> CacheLine | None:
+        for line in self._set_of(block):
+            if line.block == block:
+                return line
+        return None
+
+    def contains(self, block: int) -> bool:
+        return self._find(block) is not None
+
+    def is_dirty(self, block: int) -> bool:
+        line = self._find(block)
+        return line is not None and line.dirty
+
+    def access(self, block: int, is_write: bool) -> AccessResult:
+        """Reference a block, filling and evicting as needed (LRU)."""
+        lines = self._set_of(block)
+        line = self._find(block)
+        if line is not None:
+            was_dirty = line.dirty
+            lines.remove(line)
+            lines.append(line)  # refresh recency
+            if is_write:
+                line.dirty = True
+            return AccessResult(hit=True, was_dirty=was_dirty,
+                                evicted_block=None, evicted_dirty=False)
+        evicted_block = None
+        evicted_dirty = False
+        if len(lines) >= self.associativity:
+            victim = lines.pop(0)
+            evicted_block = victim.block
+            evicted_dirty = victim.dirty
+        lines.append(CacheLine(block=block, dirty=is_write))
+        return AccessResult(hit=False, was_dirty=False,
+                            evicted_block=evicted_block,
+                            evicted_dirty=evicted_dirty)
+
+    def invalidate(self, block: int) -> bool:
+        """Drop a block (remote write); returns True if it was resident."""
+        line = self._find(block)
+        if line is None:
+            return False
+        self._set_of(block).remove(line)
+        return True
+
+    def clean(self, block: int) -> None:
+        """Clear the dirty bit (the block was written back / supplied)."""
+        line = self._find(block)
+        if line is not None:
+            line.dirty = False
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(lines) for lines in self._sets)
+
+
+@dataclass(frozen=True)
+class CoherentAccess:
+    """One access through the coherent multi-cache system."""
+
+    result: AccessResult
+    #: Other caches holding the block at access time (before coherence).
+    holders: tuple[int, ...]
+    #: A holder had the block dirty (would supply/flush it).
+    supplier_dirty: bool
+    #: Copies invalidated by this access (write-invalidate).
+    invalidated: tuple[int, ...]
+
+
+class CoherentCacheSystem:
+    """N private caches kept consistent by write-invalidation.
+
+    Semantics match the abstraction level shared by all five protocols:
+    reads replicate blocks; a write leaves exactly one (dirty) copy; a
+    dirty remote copy encountered on a miss is observed as a dirty
+    supplier (wb_csupply) and cleaned (Write-Once flush).
+    """
+
+    def __init__(self, n_caches: int, n_sets: int, associativity: int):
+        if n_caches < 1:
+            raise ValueError("n_caches must be >= 1")
+        self.caches = [SetAssociativeCache(n_sets, associativity)
+                       for _ in range(n_caches)]
+
+    def holders_of(self, block: int, except_cpu: int | None = None) -> list[int]:
+        return [i for i, cache in enumerate(self.caches)
+                if i != except_cpu and cache.contains(block)]
+
+    def access(self, cpu: int, block: int, is_write: bool) -> CoherentAccess:
+        cache = self.caches[cpu]
+        holders = self.holders_of(block, except_cpu=cpu)
+        supplier_dirty = any(self.caches[i].is_dirty(block) for i in holders)
+        will_hit = cache.contains(block)
+
+        invalidated: list[int] = []
+        if is_write:
+            # Write-invalidate: every other copy dies (on the bus this is
+            # the write-word/invalidate broadcast or the read-mod).
+            for i in holders:
+                self.caches[i].invalidate(block)
+                invalidated.append(i)
+        elif not will_hit and supplier_dirty:
+            # Read miss served while a dirty copy exists: the holder
+            # flushes (Write-Once) and its copy becomes clean.
+            for i in holders:
+                self.caches[i].clean(block)
+
+        result = cache.access(block, is_write)
+        return CoherentAccess(result=result, holders=tuple(holders),
+                              supplier_dirty=supplier_dirty,
+                              invalidated=tuple(invalidated))
+
+    def check_coherence(self) -> None:
+        """Invariant: a dirty block has exactly one holder."""
+        seen_dirty: dict[int, int] = {}
+        for i, cache in enumerate(self.caches):
+            for lines in cache._sets:
+                for line in lines:
+                    if line.dirty:
+                        assert line.block not in seen_dirty, (
+                            f"block {line.block} dirty in caches "
+                            f"{seen_dirty[line.block]} and {i}")
+                        seen_dirty[line.block] = i

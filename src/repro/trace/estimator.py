@@ -1,0 +1,146 @@
+"""Measure Appendix-A workload parameters from a trace.
+
+Replays a synthetic (or recorded) reference trace through the coherent
+cache system and tallies exactly the statistics the paper's workload
+model parameterizes:
+
+=================  =====================================================
+parameter          measured as
+=================  =====================================================
+p_private/sro/sw   stream mix of the trace
+h_<stream>         hits / references, per stream
+r_private, r_sw    reads / references, per stream
+amod_<stream>      write hits that found the block already dirty
+csupply_<stream>   misses that found a copy in some other cache
+wb_csupply         supplied misses whose supplier copy was dirty
+rep_p, rep_sw      misses whose victim needed a write-back, per the
+                   *victim's* stream
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.trace.cache_model import CoherentCacheSystem
+from repro.trace.generator import MemoryReference, StreamKind
+from repro.workload.parameters import WorkloadParameters
+
+
+def _ratio(num: int, den: int, default: float = 0.0) -> float:
+    return num / den if den > 0 else default
+
+
+@dataclass
+class _StreamTally:
+    refs: int = 0
+    reads: int = 0
+    hits: int = 0
+    write_hits: int = 0
+    write_hits_dirty: int = 0
+    misses: int = 0
+    misses_supplied: int = 0
+    misses_supplier_dirty: int = 0
+    victims: int = 0
+    victims_dirty: int = 0
+
+
+@dataclass(frozen=True)
+class EstimationReport:
+    """Measured parameters plus the raw tallies behind them."""
+
+    workload: WorkloadParameters
+    references: int
+    per_stream: dict[StreamKind, _StreamTally] = field(repr=False, default_factory=dict)
+
+    def summary(self) -> str:
+        w = self.workload
+        return (f"{self.references} references: "
+                f"mix {w.p_private:.3f}/{w.p_sro:.3f}/{w.p_sw:.3f}, "
+                f"h {w.h_private:.3f}/{w.h_sro:.3f}/{w.h_sw:.3f}, "
+                f"csupply {w.csupply_sro:.3f}/{w.csupply_sw:.3f}, "
+                f"wb_csupply {w.wb_csupply:.3f}, "
+                f"rep {w.rep_p:.3f}/{w.rep_sw:.3f}")
+
+
+class WorkloadEstimator:
+    """Accumulates trace statistics into WorkloadParameters."""
+
+    def __init__(self, system: CoherentCacheSystem,
+                 classify_block: "callable[[int], StreamKind]",
+                 tau: float = 2.5):
+        self.system = system
+        self.classify_block = classify_block
+        self.tau = tau
+        self._tallies = {kind: _StreamTally() for kind in StreamKind}
+        self._references = 0
+
+    def observe(self, ref: MemoryReference) -> None:
+        """Feed one reference through the caches and record it."""
+        outcome = self.system.access(ref.cpu, ref.block, ref.is_write)
+        tally = self._tallies[ref.stream]
+        tally.refs += 1
+        self._references += 1
+        if not ref.is_write:
+            tally.reads += 1
+        result = outcome.result
+        if result.hit:
+            tally.hits += 1
+            if ref.is_write:
+                tally.write_hits += 1
+                if result.was_dirty:
+                    tally.write_hits_dirty += 1
+        else:
+            tally.misses += 1
+            if outcome.holders:
+                tally.misses_supplied += 1
+                if outcome.supplier_dirty:
+                    tally.misses_supplier_dirty += 1
+            if result.evicted_block is not None:
+                victim_stream = self.classify_block(result.evicted_block)
+                victim_tally = self._tallies[victim_stream]
+                victim_tally.victims += 1
+                if result.evicted_dirty:
+                    victim_tally.victims_dirty += 1
+
+    def observe_trace(self, trace: Iterable[MemoryReference]) -> None:
+        for ref in trace:
+            self.observe(ref)
+
+    @property
+    def references(self) -> int:
+        return self._references
+
+    def estimate(self) -> EstimationReport:
+        """The measured WorkloadParameters (requires a non-empty trace)."""
+        if self._references == 0:
+            raise ValueError("no references observed yet")
+        t = self._tallies
+        priv, sro, sw = (t[StreamKind.PRIVATE], t[StreamKind.SRO],
+                         t[StreamKind.SW])
+        total = self._references
+
+        supplied = sro.misses_supplied + sw.misses_supplied
+        supplier_dirty = (sro.misses_supplier_dirty
+                          + sw.misses_supplier_dirty)
+        workload = WorkloadParameters(
+            tau=self.tau,
+            p_private=_ratio(priv.refs, total),
+            p_sro=_ratio(sro.refs, total),
+            p_sw=_ratio(sw.refs, total),
+            h_private=_ratio(priv.hits, priv.refs, default=1.0),
+            h_sro=_ratio(sro.hits, sro.refs, default=1.0),
+            h_sw=_ratio(sw.hits, sw.refs, default=1.0),
+            r_private=_ratio(priv.reads, priv.refs, default=1.0),
+            r_sw=_ratio(sw.reads, sw.refs, default=1.0),
+            amod_private=_ratio(priv.write_hits_dirty, priv.write_hits),
+            amod_sw=_ratio(sw.write_hits_dirty, sw.write_hits),
+            csupply_sro=_ratio(sro.misses_supplied, sro.misses),
+            csupply_sw=_ratio(sw.misses_supplied, sw.misses),
+            wb_csupply=_ratio(supplier_dirty, supplied),
+            rep_p=_ratio(priv.victims_dirty, priv.victims),
+            rep_sw=_ratio(sw.victims_dirty, sw.victims),
+        )
+        return EstimationReport(workload=workload, references=total,
+                                per_stream=dict(self._tallies))

@@ -1,0 +1,54 @@
+"""Workload model for the snooping-cache MVA study.
+
+The workload model follows Section 2.3 and Appendix A of Vernon,
+Lazowska & Zahorjan (1988): the memory reference stream of each
+processor is the probabilistic merge of three substreams -- private,
+shared read-only (*sro*) and shared-writable (*sw*) -- each with its own
+hit rate, read/write mix, and sharing characteristics.
+
+Public surface:
+
+* :class:`WorkloadParameters` -- the basic parameters of Appendix A.
+* :class:`ArchitectureParams` -- bus/memory timing constants (Section 2.1).
+* :func:`appendix_a_workload` -- the published parameter values, keyed by
+  sharing level.
+* :class:`SharingLevel` -- the three sharing levels of the study.
+* :func:`stress_test_workload` -- the Section 4.3 stress-test values.
+* :class:`DerivedInputs` / :func:`derive_inputs` -- the model inputs
+  computed from the basic parameters (Section 2.3 and Appendix B).
+* :class:`ReferenceStream` -- per-reference outcome sampler used by the
+  discrete-event simulator.
+"""
+
+from repro.workload.parameters import (
+    ArchitectureParams,
+    SharingLevel,
+    WorkloadParameters,
+    appendix_a_workload,
+    katz_sharing_workload,
+    stress_test_workload,
+)
+from repro.workload.derived import (
+    DerivedInputs,
+    ReferenceMix,
+    ReplacementWeighting,
+    derive_inputs,
+)
+from repro.workload.sharing import SharingScalingModel
+from repro.workload.streams import ReferenceOutcome, ReferenceStream
+
+__all__ = [
+    "ArchitectureParams",
+    "DerivedInputs",
+    "ReferenceMix",
+    "ReferenceOutcome",
+    "ReferenceStream",
+    "ReplacementWeighting",
+    "SharingLevel",
+    "SharingScalingModel",
+    "WorkloadParameters",
+    "appendix_a_workload",
+    "derive_inputs",
+    "katz_sharing_workload",
+    "stress_test_workload",
+]

@@ -1,0 +1,237 @@
+"""Basic workload and architecture parameters (paper Section 2 & Appendix A).
+
+The dataclasses in this module are immutable value objects.  Protocol
+modifications do not mutate a workload in place; they produce an adjusted
+copy via :meth:`WorkloadParameters.replace` (see
+:mod:`repro.protocols.modifications`).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, fields, replace as _dc_replace
+
+
+class SharingLevel(enum.Enum):
+    """The three data-sharing levels studied in the paper (Section 4).
+
+    The value is the fraction of references that go to *shared* blocks
+    (read-only plus writable), e.g. ``SharingLevel.FIVE_PERCENT`` means
+    ``p_sro + p_sw = 0.05``.
+    """
+
+    ONE_PERCENT = 0.01
+    FIVE_PERCENT = 0.05
+    TWENTY_PERCENT = 0.20
+
+    @property
+    def label(self) -> str:
+        """Human-readable label used in tables (``"1%"`` etc.)."""
+        return f"{self.value * 100:g}%"
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+
+
+@dataclass(frozen=True)
+class WorkloadParameters:
+    """The basic workload parameters of Section 2.3 / Appendix A.
+
+    Attributes
+    ----------
+    tau:
+        Mean processor execution time between memory requests, in cycles
+        (exponentially distributed in both the MVA and the simulator).
+    p_private, p_sro, p_sw:
+        Probabilities that a memory reference is to a private, shared
+        read-only, or shared-writable block.  Must sum to 1.
+    h_private, h_sro, h_sw:
+        Cache hit rates for the three streams.
+    r_private, r_sw:
+        Probability that a reference is a *read*, given the stream (the
+        sro stream is read-only, so its read probability is 1).
+    amod_private, amod_sw:
+        Probability that a write hit finds the block already modified
+        (hence already exclusive, so no bus operation is needed).
+    csupply_sro, csupply_sw:
+        Probability that at least one other cache holds a copy of a
+        missed sro / sw block.
+    wb_csupply:
+        Probability that the supplying cache holds the block in state
+        *wback* (modified), forcing a write-back on supply (Write-Once)
+        or a direct cache-to-cache supply (modification 2).
+    rep_p, rep_sw:
+        Probability that a private / shared-writable block chosen for
+        replacement must be written back to memory.
+    """
+
+    tau: float = 2.5
+    p_private: float = 0.95
+    p_sro: float = 0.03
+    p_sw: float = 0.02
+    h_private: float = 0.95
+    h_sro: float = 0.95
+    h_sw: float = 0.5
+    r_private: float = 0.7
+    r_sw: float = 0.5
+    amod_private: float = 0.7
+    amod_sw: float = 0.3
+    csupply_sro: float = 0.95
+    csupply_sw: float = 0.5
+    wb_csupply: float = 0.3
+    rep_p: float = 0.2
+    rep_sw: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.tau < 0.0:
+            raise ValueError(f"tau must be non-negative, got {self.tau!r}")
+        for f in fields(self):
+            if f.name == "tau":
+                continue
+            _check_probability(f.name, getattr(self, f.name))
+        total = self.p_private + self.p_sro + self.p_sw
+        if not math.isclose(total, 1.0, abs_tol=1e-9):
+            raise ValueError(
+                "stream probabilities must sum to 1: "
+                f"p_private + p_sro + p_sw = {total!r}"
+            )
+
+    def replace(self, **changes: float) -> "WorkloadParameters":
+        """Return a copy with ``changes`` applied (validated)."""
+        return _dc_replace(self, **changes)
+
+    @property
+    def sharing_fraction(self) -> float:
+        """Fraction of references to shared (sro + sw) blocks."""
+        return self.p_sro + self.p_sw
+
+    @property
+    def write_fraction(self) -> float:
+        """Overall fraction of references that are writes."""
+        return self.p_private * (1.0 - self.r_private) + self.p_sw * (1.0 - self.r_sw)
+
+
+@dataclass(frozen=True)
+class ArchitectureParams:
+    """Bus / memory timing constants (paper Section 2.1).
+
+    All times are in bus cycles.  The paper fixes ``block_size = 4``
+    words (one memory module per word of the block), main-memory latency
+    ``d_mem = 3`` cycles, a one-cycle cache supply time and a one-cycle
+    write-word bus occupancy.  The decomposition of the remote-read
+    access time is ours (DESIGN.md Section 5 item 1): one address cycle,
+    the memory latency, then one cycle per word of the block.
+    """
+
+    block_size: int = 4
+    memory_modules: int = 4
+    memory_latency: float = 3.0
+    address_cycles: float = 1.0
+    words_per_cycle: float = 1.0
+    t_supply: float = 1.0
+    write_word_cycles: float = 1.0
+    invalidate_cycles: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size!r}")
+        if self.memory_modules < 1:
+            raise ValueError(f"memory_modules must be >= 1, got {self.memory_modules!r}")
+        if self.words_per_cycle <= 0.0:
+            raise ValueError(f"words_per_cycle must be > 0, got {self.words_per_cycle!r}")
+        for name in ("memory_latency", "address_cycles", "t_supply",
+                     "write_word_cycles", "invalidate_cycles"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def block_transfer_cycles(self) -> float:
+        """Bus cycles to move one cache block (4 words at 1 word/cycle)."""
+        return self.block_size / self.words_per_cycle
+
+    @property
+    def base_read_cycles(self) -> float:
+        """Bus occupancy of a remote read served by main memory.
+
+        Address cycle + memory latency + block transfer = 1 + 3 + 4 = 8
+        with the default constants.
+        """
+        return self.address_cycles + self.memory_latency + self.block_transfer_cycles
+
+    @property
+    def cache_supply_cycles(self) -> float:
+        """Bus occupancy of a direct cache-to-cache supply (modification 2)."""
+        return self.address_cycles + self.block_transfer_cycles
+
+    def replace(self, **changes: float) -> "ArchitectureParams":
+        """Return a copy with ``changes`` applied (validated)."""
+        return _dc_replace(self, **changes)
+
+
+#: Appendix-A stream mixes, keyed by sharing level:
+#: (p_private, p_sro, p_sw).
+_APPENDIX_A_MIX: dict[SharingLevel, tuple[float, float, float]] = {
+    SharingLevel.ONE_PERCENT: (0.99, 0.01, 0.00),
+    SharingLevel.FIVE_PERCENT: (0.95, 0.03, 0.02),
+    SharingLevel.TWENTY_PERCENT: (0.80, 0.15, 0.05),
+}
+
+
+def appendix_a_workload(sharing: SharingLevel) -> WorkloadParameters:
+    """The published Appendix-A workload for one of the sharing levels.
+
+    All parameters other than the stream mix are common across sharing
+    levels (tau = 2.5, h_private = h_sro = 0.95, h_sw = 0.5, ...).
+
+    Note: the per-protocol overrides of Appendix A (rep_p = 0.3 under
+    modification 1, rep_sw = 0.6 / 0.7 under modifications 2/3 and
+    h_sw = 0.95 under modifications 1+4) are applied by
+    :meth:`repro.protocols.ProtocolSpec.adjust_workload`, not here.
+    """
+    p_private, p_sro, p_sw = _APPENDIX_A_MIX[sharing]
+    return WorkloadParameters(p_private=p_private, p_sro=p_sro, p_sw=p_sw)
+
+
+def stress_test_workload() -> WorkloadParameters:
+    """The Section 4.3 stress-test parameters.
+
+    "we set the values of rep_p, rep_sw, and amod_sw to 0.0, csupply_sro
+    and csupply_sw to 1.0, p_sw to 0.2, and hit_sw to 0.1" -- a workload
+    with a large amount of cache interference, chosen to break the MVA
+    approximations.  Remaining parameters keep their Appendix-A values;
+    the stream mix is renormalized so p_sw = 0.2 displaces private
+    references (sro keeps its 5 %-sharing value).
+    """
+    base = appendix_a_workload(SharingLevel.FIVE_PERCENT)
+    return base.replace(
+        p_private=1.0 - base.p_sro - 0.2,
+        p_sw=0.2,
+        h_sw=0.1,
+        amod_sw=0.0,
+        csupply_sro=1.0,
+        csupply_sw=1.0,
+        rep_p=0.0,
+        rep_sw=0.0,
+    )
+
+
+def katz_sharing_workload(amod_sw: float = 0.05) -> WorkloadParameters:
+    """A 99 %-sharing workload for the Katz et al. comparison (Section 4.4).
+
+    The paper compares relative bus utilization of Write-Once against a
+    protocol with modifications 2+3 at "99 % sharing" with "the
+    probability that a block is unmodified on a write hit decreas[ing]
+    significantly", i.e. a small ``amod_sw``... strictly: the
+    *modified* probability decreases in the mod-2 protocol; we expose
+    ``amod_sw`` so the bench can sweep it.
+    """
+    base = appendix_a_workload(SharingLevel.FIVE_PERCENT)
+    return base.replace(
+        p_private=0.01,
+        p_sro=0.495,
+        p_sw=0.495,
+        amod_sw=amod_sw,
+    )

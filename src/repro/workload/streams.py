@@ -1,0 +1,124 @@
+"""Per-reference outcome sampling for the discrete-event simulator.
+
+Like the GTPN model of the paper, the simulator does not track concrete
+addresses; every memory reference independently samples its event class
+and sharing outcomes from the workload probabilities (paper Section 2.3).
+This module turns a :class:`~repro.workload.derived.DerivedInputs` into a
+stream of :class:`ReferenceOutcome` objects that the simulator plays
+through the bus / memory / cache machinery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.derived import DerivedInputs
+
+
+class RequestKind(enum.Enum):
+    """How the cache handles a processor request (Section 2.3)."""
+
+    LOCAL = "local"
+    BROADCAST = "broadcast"
+    REMOTE_READ = "remote-read"
+
+
+@dataclass(frozen=True)
+class ReferenceOutcome:
+    """One sampled memory reference, fully resolved.
+
+    Attributes
+    ----------
+    kind:
+        Local hit, broadcast (write-word / invalidate / update), or
+        remote read (read / read-mod).
+    shared:
+        The referenced block is shared (sro or sw); only then can the
+        operation involve other caches.
+    cache_supplied:
+        A copy exists in at least one other cache (remote reads only).
+    supplier_writeback:
+        The holder has the block in *wback*: under Write-Once it flushes
+        the block to memory mid-transaction; under modification 2 it
+        supplies the block cache-to-cache instead.
+    req_writeback:
+        The requesting cache must write back the victim block.
+    """
+
+    kind: RequestKind
+    shared: bool = False
+    cache_supplied: bool = False
+    supplier_writeback: bool = False
+    req_writeback: bool = False
+
+
+class ReferenceStream:
+    """Samples :class:`ReferenceOutcome` objects for one processor.
+
+    The sampler draws from the routing probabilities already computed in
+    :class:`DerivedInputs`, so simulator and MVA are guaranteed to agree
+    on the workload semantics by construction.
+    """
+
+    def __init__(self, inputs: DerivedInputs, rng: np.random.Generator | None = None):
+        self._inputs = inputs
+        self._rng = rng if rng is not None else np.random.default_rng()
+        mix, mods = inputs.mix, inputs.mods
+        self._p_local = inputs.p_local
+        self._p_bc = inputs.p_bc
+        self._p_rr = inputs.p_rr
+        # Within remote reads: class fractions.
+        if inputs.p_rr > 0.0:
+            self._sr_frac = inputs.sr_miss_frac
+            self._sw_frac = inputs.sw_miss_frac
+        else:
+            self._sr_frac = self._sw_frac = 0.0
+        # Within broadcasts: the shared fraction (private write-words do
+        # not involve other caches).
+        sw_bc = mix.sw_broadcast(mods)
+        self._bc_shared_frac = sw_bc / inputs.p_bc if inputs.p_bc > 0.0 else 0.0
+
+    @property
+    def inputs(self) -> DerivedInputs:
+        """The derived inputs this stream samples from."""
+        return self._inputs
+
+    def sample(self) -> ReferenceOutcome:
+        """Draw one memory-reference outcome."""
+        u = self._rng.random()
+        if u < self._p_local:
+            return ReferenceOutcome(kind=RequestKind.LOCAL)
+        if u < self._p_local + self._p_bc:
+            shared = self._rng.random() < self._bc_shared_frac
+            return ReferenceOutcome(kind=RequestKind.BROADCAST, shared=shared)
+        return self._sample_remote_read()
+
+    def _sample_remote_read(self) -> ReferenceOutcome:
+        w = self._inputs.workload
+        v = self._rng.random()
+        if v < self._sr_frac:
+            shared, csupply = True, w.csupply_sro
+        elif v < self._sr_frac + self._sw_frac:
+            shared, csupply = True, w.csupply_sw
+        else:
+            shared, csupply = False, 0.0
+        cache_supplied = shared and self._rng.random() < csupply
+        supplier_wb = cache_supplied and self._rng.random() < w.wb_csupply
+        req_wb = self._rng.random() < self._inputs.p_reqwb_rr
+        return ReferenceOutcome(
+            kind=RequestKind.REMOTE_READ,
+            shared=shared,
+            cache_supplied=cache_supplied,
+            supplier_writeback=supplier_wb,
+            req_writeback=req_wb,
+        )
+
+    def execution_cycles(self) -> float:
+        """Draw an exponential processor execution burst (mean tau)."""
+        tau = self._inputs.workload.tau
+        if tau <= 0.0:
+            return 0.0
+        return float(self._rng.exponential(tau))

@@ -1,0 +1,59 @@
+"""Shared fixtures: the paper's workloads, protocols, and models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import CacheMVAModel
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.parameters import (
+    ArchitectureParams,
+    SharingLevel,
+    WorkloadParameters,
+    appendix_a_workload,
+    stress_test_workload,
+)
+
+
+@pytest.fixture
+def workload_5pct() -> WorkloadParameters:
+    """The Appendix-A workload at the 5 % sharing level."""
+    return appendix_a_workload(SharingLevel.FIVE_PERCENT)
+
+
+@pytest.fixture
+def workload_1pct() -> WorkloadParameters:
+    return appendix_a_workload(SharingLevel.ONE_PERCENT)
+
+
+@pytest.fixture
+def workload_20pct() -> WorkloadParameters:
+    return appendix_a_workload(SharingLevel.TWENTY_PERCENT)
+
+
+@pytest.fixture
+def stress_workload() -> WorkloadParameters:
+    return stress_test_workload()
+
+
+@pytest.fixture
+def default_arch() -> ArchitectureParams:
+    return ArchitectureParams()
+
+
+@pytest.fixture
+def write_once_spec() -> ProtocolSpec:
+    return ProtocolSpec()
+
+
+@pytest.fixture(params=[(), (1,), (2,), (3,), (4,), (1, 4), (2, 3), (1, 2, 3), (1, 2, 3, 4)],
+                ids=lambda mods: "WO" if not mods else "WO+" + "+".join(map(str, mods)))
+def any_protocol(request) -> ProtocolSpec:
+    """A representative slice of the 16 modification combinations."""
+    return ProtocolSpec.of(*request.param)
+
+
+@pytest.fixture
+def model_wo_5pct(workload_5pct) -> CacheMVAModel:
+    """Write-Once model at 5 % sharing -- the paper's central instance."""
+    return CacheMVAModel(workload_5pct, ProtocolSpec())

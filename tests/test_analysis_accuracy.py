@@ -1,0 +1,78 @@
+"""Tests for the accuracy-summary aggregation."""
+
+import pytest
+
+from repro.analysis.accuracy import summarize
+from repro.analysis.comparison import AgreementCell, AgreementStudy
+
+
+def _cell(mva, detailed, ci=0.01, n=4):
+    return AgreementCell(
+        n_processors=n, mva_speedup=mva, detailed_speedup=detailed,
+        detailed_ci=ci, mva_u_bus=0.5, detailed_u_bus=0.5,
+        mva_w_bus=1.0, detailed_w_bus=1.0)
+
+
+def _study(cells):
+    return AgreementStudy(protocol_label="X", sharing_label="5%",
+                          cells=tuple(cells))
+
+
+class TestSummarize:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([_study([])])
+
+    def test_known_statistics(self):
+        cells = [
+            _cell(1.00, 1.00),    # exact
+            _cell(0.99, 1.00),    # -1 %
+            _cell(1.04, 1.00),    # +4 %
+        ]
+        summary = summarize([_study(cells)])
+        assert summary.n_cells == 3
+        assert summary.max_abs_error == pytest.approx(0.04)
+        assert summary.mean_abs_error == pytest.approx((0 + 0.01 + 0.04) / 3)
+        assert summary.within_1pct == pytest.approx(2 / 3)
+        assert summary.within_5pct == 1.0
+        assert summary.mean_signed_error == pytest.approx(0.01)
+
+    def test_rms(self):
+        summary = summarize([_study([_cell(1.03, 1.00), _cell(0.97, 1.00)])])
+        assert summary.rms_error == pytest.approx(0.03)
+
+    def test_significance_uses_ci(self):
+        cells = [
+            _cell(1.10, 1.00, ci=0.01),  # gap 0.10 >> 2*CI: significant
+            _cell(1.10, 1.00, ci=0.20),  # within noise
+            _cell(1.10, 1.00, ci=0.0),   # no CI -> not counted
+        ]
+        summary = summarize([_study(cells)])
+        assert summary.significant_cells == 1
+
+    def test_multiple_studies_pooled(self):
+        a = _study([_cell(1.0, 1.0)])
+        b = _study([_cell(2.0, 2.2)])
+        summary = summarize([a, b])
+        assert summary.n_cells == 2
+
+    def test_text_rendering(self):
+        summary = summarize([_study([_cell(0.98, 1.00)])])
+        text = summary.text()
+        assert "max |err| 2.00%" in text
+        assert "mean signed error -2.00%" in text
+
+
+class TestLiveSummary:
+    def test_real_agreement_study_summary(self, workload_5pct):
+        """End to end on an actual (small) MVA-vs-simulation study: the
+        paper-style framing must hold -- small errors, negative bias."""
+        from repro.analysis.comparison import compare_mva_and_simulation
+        from repro.protocols.modifications import ProtocolSpec
+        study = compare_mva_and_simulation(
+            workload_5pct, ProtocolSpec(), sizes=[2, 6],
+            measured_requests=30_000)
+        summary = summarize([study])
+        assert summary.n_cells == 2
+        assert summary.max_abs_error < 0.05
+        assert summary.within_5pct == 1.0

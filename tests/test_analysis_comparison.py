@@ -1,0 +1,67 @@
+"""Tests for the MVA-vs-simulation agreement harness."""
+
+import pytest
+
+from repro.analysis.comparison import (
+    AgreementCell,
+    agreement_table,
+    compare_mva_and_simulation,
+)
+from repro.protocols.modifications import ProtocolSpec
+
+
+@pytest.fixture(scope="module")
+def study():
+    from repro.workload.parameters import SharingLevel, appendix_a_workload
+    return compare_mva_and_simulation(
+        appendix_a_workload(SharingLevel.FIVE_PERCENT),
+        ProtocolSpec(),
+        sizes=[2, 6],
+        measured_requests=30_000,
+    )
+
+
+class TestAgreementCell:
+    def test_relative_error(self):
+        cell = AgreementCell(n_processors=4, mva_speedup=3.0,
+                             detailed_speedup=3.1, detailed_ci=0.05,
+                             mva_u_bus=0.5, detailed_u_bus=0.52,
+                             mva_w_bus=1.0, detailed_w_bus=1.1)
+        assert cell.relative_error == pytest.approx((3.0 - 3.1) / 3.1)
+        assert cell.u_bus_error == pytest.approx((0.5 - 0.52) / 0.52)
+
+    def test_zero_detail_guard(self):
+        cell = AgreementCell(n_processors=1, mva_speedup=1.0,
+                             detailed_speedup=0.0, detailed_ci=0.0,
+                             mva_u_bus=0.0, detailed_u_bus=0.0,
+                             mva_w_bus=0.0, detailed_w_bus=0.0)
+        assert cell.relative_error == 0.0
+        assert cell.u_bus_error == 0.0
+
+
+class TestStudy:
+    def test_cells_cover_sizes(self, study):
+        assert [c.n_processors for c in study.cells] == [2, 6]
+
+    def test_agreement_within_five_percent(self, study):
+        """The reproduction of the paper's Section 4.2 claim."""
+        assert study.max_abs_error < 0.05
+
+    def test_mean_le_max(self, study):
+        assert study.mean_abs_error <= study.max_abs_error + 1e-12
+
+    def test_worst_cell(self, study):
+        worst = study.worst_cell()
+        assert abs(worst.relative_error) == pytest.approx(
+            study.max_abs_error)
+
+    def test_summary_text(self, study):
+        text = study.summary()
+        assert "Write-Once" in text
+        assert "max |rel err|" in text
+
+    def test_table_render(self, study):
+        table = agreement_table(study)
+        text = table.render()
+        assert "rel err %" in text
+        assert "Write-Once" in table.title

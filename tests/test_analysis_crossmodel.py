@@ -1,0 +1,54 @@
+"""Unit tests for the cross-model harness (the bench runs the full
+validation; these cover the mechanics cheaply)."""
+
+import pytest
+
+from repro.analysis.crossmodel import (
+    CrossModelCell,
+    cross_model_table,
+    cross_validate,
+)
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+
+class TestCrossModelCell:
+    def test_spread(self):
+        cell = CrossModelCell(n_processors=2, mva=1.0, des=1.1, des_ci=0.01,
+                              gtpn_exponential=1.05, gtpn_erlang=1.02,
+                              gtpn_states=10)
+        assert cell.spread == pytest.approx(0.1)
+
+    def test_spread_zero_guard(self):
+        cell = CrossModelCell(n_processors=1, mva=0.0, des=0.0, des_ci=0.0,
+                              gtpn_exponential=0.0, gtpn_erlang=0.0,
+                              gtpn_states=1)
+        assert cell.spread == 0.0
+
+
+class TestCrossValidate:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return cross_validate(
+            appendix_a_workload(SharingLevel.FIVE_PERCENT),
+            sizes=(1, 2), sim_requests=8_000, erlang=2)
+
+    def test_one_cell_per_size(self, cells):
+        assert [c.n_processors for c in cells] == [1, 2]
+
+    def test_all_techniques_populated(self, cells):
+        for cell in cells:
+            assert cell.mva > 0.0
+            assert cell.des > 0.0
+            assert cell.gtpn_exponential > 0.0
+            assert cell.gtpn_erlang > 0.0
+            assert cell.gtpn_states > 0
+
+    def test_n1_all_agree_tightly(self, cells):
+        """No contention at N = 1: every technique computes the same
+        no-queueing mean."""
+        assert cells[0].spread < 0.02
+
+    def test_table_render(self, cells):
+        text = cross_model_table(cells).render()
+        assert "GTPN Erlang" in text
+        assert "spread %" in text

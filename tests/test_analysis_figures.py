@@ -1,0 +1,72 @@
+"""Tests for Figure 4.1 series and the ASCII chart."""
+
+import pytest
+
+from repro.analysis.figures import (
+    FIGURE_41_SIZES,
+    FigureSeries,
+    ascii_chart,
+    figure_41_series,
+    to_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return figure_41_series()
+
+
+class TestFigure41Series:
+    def test_seven_curves(self, series):
+        """WO and WO+1 at three sharing levels plus WO+1+4 at 5 %."""
+        assert len(series) == 7
+        labels = [s.label for s in series]
+        assert "Write-Once (1%)" in labels
+        assert "WO+1 (20%)" in labels
+        assert "WO+1+4 (5%)" in labels
+        assert "WO+1+4 (1%)" not in labels  # the paper draws only 5 %
+
+    def test_x_axis(self, series):
+        for s in series:
+            assert s.xs == tuple(float(n) for n in FIGURE_41_SIZES)
+
+    def test_monotone_curves(self, series):
+        for s in series:
+            assert list(s.ys) == sorted(s.ys), s.label
+
+    def test_protocol_ordering_at_right_edge(self, series):
+        by_label = {s.label: s for s in series}
+        wo = by_label["Write-Once (5%)"].ys[-1]
+        mod1 = by_label["WO+1 (5%)"].ys[-1]
+        mod14 = by_label["WO+1+4 (5%)"].ys[-1]
+        assert wo < mod1 < mod14
+
+    def test_series_length_validation(self):
+        with pytest.raises(ValueError):
+            FigureSeries(label="bad", xs=(1.0, 2.0), ys=(1.0,))
+
+
+class TestAsciiChart:
+    def test_contains_labels_and_markers(self, series):
+        chart = ascii_chart(series, title="Figure 4.1")
+        assert chart.startswith("Figure 4.1")
+        for s in series:
+            assert s.label in chart
+
+    def test_degenerate_series_ok(self):
+        flat = FigureSeries(label="flat", xs=(1.0, 2.0), ys=(3.0, 3.0))
+        chart = ascii_chart([flat])
+        assert "flat" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([])
+
+
+class TestCsv:
+    def test_long_format(self, series):
+        csv = to_csv(series[:2])
+        lines = csv.strip().splitlines()
+        assert lines[0] == "series,n_processors,speedup"
+        assert len(lines) == 1 + 2 * len(FIGURE_41_SIZES)
+        assert lines[1].startswith("Write-Once (1%),1,")

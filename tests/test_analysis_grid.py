@@ -1,0 +1,99 @@
+"""Tests for the grid runner and its exports."""
+
+import json
+
+import pytest
+
+from repro.analysis.grid import (
+    GridCell,
+    GridSpec,
+    best_protocol_per_cell,
+    run_grid,
+    to_csv,
+    to_json,
+)
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.parameters import SharingLevel
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    spec = GridSpec(
+        protocols=[ProtocolSpec(), ProtocolSpec.of(1)],
+        sizes=[2, 8],
+        sharing_levels=[SharingLevel.FIVE_PERCENT],
+    )
+    return run_grid(spec)
+
+
+class TestGridSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridSpec(protocols=[], sizes=[2])
+        with pytest.raises(ValueError):
+            GridSpec(protocols=[ProtocolSpec()], sizes=[])
+        with pytest.raises(ValueError):
+            GridSpec(protocols=[ProtocolSpec()], sizes=[0])
+
+
+class TestRunGrid:
+    def test_cell_count(self, small_grid):
+        assert len(small_grid) == 2 * 2  # protocols x sizes, one level
+
+    def test_cells_are_mva_by_default(self, small_grid):
+        assert all(cell.method == "mva" for cell in small_grid)
+        assert all(cell.sim_ci is None for cell in small_grid)
+
+    def test_values_match_direct_solve(self, small_grid):
+        from repro.core.model import CacheMVAModel
+        from repro.workload.parameters import appendix_a_workload
+        direct = CacheMVAModel(
+            appendix_a_workload(SharingLevel.FIVE_PERCENT)).speedup(8)
+        cell = next(c for c in small_grid
+                    if c.protocol == "Write-Once" and c.n_processors == 8)
+        assert cell.speedup == pytest.approx(direct)
+
+    def test_simulation_rows(self):
+        spec = GridSpec(protocols=[ProtocolSpec()], sizes=[2],
+                        sharing_levels=[SharingLevel.FIVE_PERCENT],
+                        include_simulation=True, sim_requests=5_000)
+        cells = run_grid(spec)
+        methods = [c.method for c in cells]
+        assert methods == ["mva", "sim"]
+        sim_cell = cells[1]
+        assert sim_cell.sim_ci is not None
+        assert sim_cell.speedup == pytest.approx(cells[0].speedup, rel=0.1)
+
+
+class TestExports:
+    def test_csv_shape(self, small_grid):
+        csv = to_csv(small_grid)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("protocol,sharing,n_processors,method")
+        assert len(lines) == 1 + len(small_grid)
+        assert ",mva," in lines[1]
+
+    def test_csv_empty_ci_field(self, small_grid):
+        csv = to_csv(small_grid)
+        assert csv.strip().splitlines()[1].endswith(",")  # sim_ci empty
+
+    def test_json_roundtrip(self, small_grid):
+        data = json.loads(to_json(small_grid))
+        assert len(data) == len(small_grid)
+        assert data[0]["protocol"] in ("Write-Once", "WO+1")
+        assert isinstance(data[0]["speedup"], float)
+
+
+class TestBestProtocol:
+    def test_winner_per_cell(self, small_grid):
+        winners = best_protocol_per_cell(small_grid)
+        assert winners[("5%", 8)] == "WO+1"
+
+    def test_ignores_sim_rows(self):
+        cells = [
+            GridCell("A", "5%", 4, speedup=1.0, u_bus=0, w_bus=0,
+                     cycle_time=1, processing_power=1),
+            GridCell("B", "5%", 4, speedup=9.0, u_bus=0, w_bus=0,
+                     cycle_time=1, processing_power=1, method="sim"),
+        ]
+        assert best_protocol_per_cell(cells)[("5%", 4)] == "A"

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestBrokenPipe:
+    def test_broken_pipe_exits_cleanly(self, monkeypatch):
+        """Piping CLI output into `head` must not traceback: main()'s
+        guard converts BrokenPipeError into a clean exit."""
+        import repro.cli as cli
+
+        def boom(args):
+            raise BrokenPipeError
+
+        # build_parser() resolves handlers from module globals, so
+        # patching before main() builds the parser takes effect.
+        monkeypatch.setattr(cli, "_cmd_protocols", boom)
+        assert cli.main(["protocols"]) == 0
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.n == [10]
+        assert args.sharing == "5"
+
+
+class TestCommands:
+    def test_solve(self, capsys):
+        assert main(["solve", "--mods", "1", "-n", "4", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "WO+1 N=4" in out
+        assert "WO+1 N=8" in out
+
+    def test_solve_verbose(self, capsys):
+        assert main(["solve", "-n", "6", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "w_mem=" in out
+        assert "power=" in out
+
+    def test_solve_named_protocol(self, capsys):
+        assert main(["solve", "--protocol", "berkeley", "-n", "4"]) == 0
+        assert "Berkeley" in capsys.readouterr().out
+
+    def test_table(self, capsys):
+        assert main(["table", "a"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4.1(a)" in out
+        assert "paper GTPN" in out
+
+    def test_table_all_parts_default(self, capsys):
+        assert main(["table"]) == 0
+        out = capsys.readouterr().out
+        for part in ("(a)", "(b)", "(c)"):
+            assert f"Table 4.1{part}" in out
+
+    def test_figure_ascii(self, capsys):
+        assert main(["figure"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4.1" in out
+        assert "Write-Once (1%)" in out
+
+    def test_figure_csv(self, capsys):
+        assert main(["figure", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("series,n_processors,speedup")
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "-n", "2", "--requests", "3000",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup=" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "-n", "2", "--requests", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "rel err %" in out
+        assert "max |rel err|" in out
+
+    def test_protocols(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        for name in ("write-once", "synapse", "illinois", "berkeley",
+                     "rwb", "dragon"):
+            assert name in out
+
+    def test_bad_sharing_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--sharing", "42"])
+
+    def test_hierarchy(self, capsys):
+        assert main(["hierarchy", "--clusters", "1", "4",
+                     "--per-cluster", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "U_global" in out
+        assert out.count("\n") >= 3
+
+    def test_estimate(self, capsys):
+        assert main(["estimate", "--references", "20000", "--cpus", "2",
+                     "-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "references:" in out
+        assert "speedup" in out
+
+    def test_table_bad_part(self, capsys):
+        assert main(["table", "z"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_grid_csv(self, capsys):
+        assert main(["grid", "--protocols", "1", "-n", "2", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("protocol,sharing,n_processors")
+        assert "WO+1" in out
+
+    def test_crossmodel(self, capsys):
+        assert main(["crossmodel", "-n", "1", "2",
+                     "--requests", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "GTPN Erlang" in out
+        assert "max cross-technique spread" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "-n", "2", "--requests", "6000"]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduction report" in out
+        assert "Pooled accuracy" in out
+        assert "Table 4.1(c)" in out
+
+    def test_grid_json_to_file(self, tmp_path, capsys):
+        target = tmp_path / "grid.json"
+        assert main(["grid", "--protocols", "dragon", "-n", "2",
+                     "--json", "-o", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        import json
+        data = json.loads(target.read_text())
+        assert data[0]["protocol"] == "Dragon"

@@ -1,0 +1,146 @@
+"""Unit tests for the equation system (one sweep at a time)."""
+
+import math
+
+import pytest
+
+from repro.core.equations import EquationSystem, ModelState, _p_busy
+from repro.workload.derived import derive_inputs
+from repro.workload.parameters import ArchitectureParams
+
+
+@pytest.fixture
+def system_8(workload_5pct):
+    return EquationSystem(derive_inputs(workload_5pct), n_processors=8)
+
+
+class TestPBusy:
+    def test_single_server_is_never_seen_busy(self):
+        assert _p_busy(0.9, 1) == 0.0
+
+    def test_equation_8_value(self):
+        # p_busy = (U - U/N) / (1 - U/N)
+        u, n = 0.6, 4
+        expected = (u - u / n) / (1.0 - u / n)
+        assert math.isclose(_p_busy(u, n), expected)
+
+    def test_clamped_to_unit_interval(self):
+        assert 0.0 <= _p_busy(5.0, 4) < 1.0
+        assert _p_busy(0.0, 4) == 0.0
+
+    def test_monotone_in_utilization(self):
+        values = [_p_busy(u, 8) for u in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert values == sorted(values)
+
+
+class TestFirstSweep:
+    """From a cold start (all waits zero) the sweep must reproduce the
+    no-contention response time exactly."""
+
+    def test_cold_start_response(self, system_8, workload_5pct):
+        state = system_8.step(ModelState())
+        inp = system_8.inputs
+        expected_r = (workload_5pct.tau
+                      + inp.p_bc * inp.t_bc
+                      + inp.p_rr * inp.t_read
+                      + 1.0)
+        assert state.response is not None
+        assert math.isclose(state.response.total, expected_r)
+        assert state.response.r_local == 0.0  # no queue yet -> no interference
+
+    def test_cold_start_queue_length(self, system_8):
+        state = system_8.step(ModelState())
+        inp = system_8.inputs
+        r = state.response.total
+        expected_q = 7 * (inp.p_bc * inp.t_bc + inp.p_rr * inp.t_read) / r
+        assert math.isclose(state.q_bus, expected_q)
+
+    def test_utilization_scales_with_n(self, workload_5pct):
+        inputs = derive_inputs(workload_5pct)
+        u4 = EquationSystem(inputs, 4).step(ModelState()).u_bus
+        u8 = EquationSystem(inputs, 8).step(ModelState()).u_bus
+        assert math.isclose(u8, 2 * u4)  # same R on the first sweep
+
+
+class TestSweepConsistency:
+    def test_waiting_times_nonnegative(self, system_8):
+        state = ModelState()
+        for _ in range(30):
+            state = system_8.step(state)
+            assert state.w_bus >= 0.0
+            assert state.w_mem >= 0.0
+            assert state.q_bus >= 0.0
+            assert state.n_interference >= 0.0
+
+    def test_n_interference_bounded_by_queue(self, system_8):
+        state = ModelState()
+        for _ in range(30):
+            state = system_8.step(state)
+        # Equation 13: n_int = p (1 - p'^Q)/(1 - p') <= Q for p <= 1.
+        assert state.n_interference <= state.q_bus + 1e-9
+
+    def test_memory_wait_bounded_by_half_latency(self, system_8):
+        state = ModelState()
+        for _ in range(30):
+            state = system_8.step(state)
+        # w_mem = p_busy * d/2 < d/2.
+        assert state.w_mem < 1.5
+
+    def test_single_processor_no_waiting(self, workload_5pct):
+        system = EquationSystem(derive_inputs(workload_5pct), 1)
+        state = system.step(system.step(ModelState()))
+        assert state.w_bus == 0.0
+        assert state.w_mem == 0.0
+        assert state.q_bus == 0.0
+        assert state.n_interference == 0.0
+
+    def test_invalid_n_rejected(self, workload_5pct):
+        with pytest.raises(ValueError):
+            EquationSystem(derive_inputs(workload_5pct), 0)
+
+    def test_distance_metric(self):
+        a = ModelState(w_bus=1.0, w_mem=0.5, q_bus=2.0)
+        b = ModelState(w_bus=1.5, w_mem=0.5, q_bus=2.1)
+        assert math.isclose(a.distance(b), 0.5)
+        assert a.distance(a) == 0.0
+
+
+class TestDamping:
+    def test_full_damping_returns_proposed(self, system_8):
+        previous = ModelState()
+        proposed = system_8.step(previous)
+        assert system_8.damped(previous, proposed, 1.0) is proposed
+
+    def test_half_damping_blends(self, system_8):
+        previous = ModelState()
+        proposed = system_8.step(previous)
+        blended = system_8.damped(previous, proposed, 0.5)
+        assert math.isclose(blended.w_bus, proposed.w_bus * 0.5)
+        assert math.isclose(blended.q_bus, proposed.q_bus * 0.5)
+
+
+class TestBroadcastHoldsBusThroughMemoryWait:
+    """Equation 7/9: the bus is occupied for w_mem + T_write on a
+    broadcast, so memory congestion inflates bus utilization."""
+
+    def test_u_bus_increases_with_memory_wait(self, workload_5pct):
+        inputs = derive_inputs(workload_5pct)
+        system = EquationSystem(inputs, 8)
+        lo = system.step(ModelState(w_mem=0.0))
+        hi = system.step(ModelState(w_mem=1.0))
+        assert hi.u_bus > lo.u_bus
+
+
+class TestArchitectureVariants:
+    def test_larger_blocks_slow_reads(self, workload_5pct):
+        small = derive_inputs(workload_5pct, ArchitectureParams(block_size=4))
+        large = derive_inputs(workload_5pct, ArchitectureParams(block_size=16,
+                                                                memory_modules=16))
+        assert large.t_read > small.t_read
+
+    def test_more_modules_reduce_memory_utilization(self, workload_5pct):
+        few = EquationSystem(
+            derive_inputs(workload_5pct, ArchitectureParams(memory_modules=2)), 8)
+        many = EquationSystem(
+            derive_inputs(workload_5pct, ArchitectureParams(memory_modules=8)), 8)
+        assert few.step(ModelState()).u_mem > many.step(ModelState()).u_mem

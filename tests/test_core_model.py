@@ -1,0 +1,135 @@
+"""Tests for CacheMVAModel and PerformanceReport."""
+
+import math
+
+import pytest
+
+from repro.core.model import TABLE_41_SIZES, CacheMVAModel
+from repro.core.solver import FixedPointSolver
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.parameters import (
+    ArchitectureParams,
+    SharingLevel,
+    appendix_a_workload,
+)
+
+
+class TestModelBasics:
+    def test_applies_protocol_overrides_by_default(self, workload_5pct):
+        model = CacheMVAModel(workload_5pct, ProtocolSpec.of(1))
+        assert model.workload.rep_p == 0.3
+        assert model.base_workload.rep_p == 0.2
+
+    def test_overrides_can_be_disabled(self, workload_5pct):
+        model = CacheMVAModel(workload_5pct, ProtocolSpec.of(1),
+                              apply_overrides=False)
+        assert model.workload.rep_p == 0.2
+
+    def test_default_protocol_is_write_once(self, workload_5pct):
+        model = CacheMVAModel(workload_5pct)
+        assert model.protocol == ProtocolSpec()
+        assert model.solve(4).protocol_label == "Write-Once"
+
+    def test_sharing_label_inferred(self, workload_20pct):
+        model = CacheMVAModel(workload_20pct)
+        assert model.sharing_label == "20%"
+
+    def test_table_sizes_constant(self):
+        assert TABLE_41_SIZES == (1, 2, 4, 6, 8, 10, 15, 20, 100)
+
+
+class TestReportMeasures:
+    def test_speedup_formula(self, model_wo_5pct):
+        report = model_wo_5pct.solve(6)
+        expected = 6 * (2.5 + 1.0) / report.cycle_time
+        assert math.isclose(report.speedup, expected)
+
+    def test_processing_power_relation(self, model_wo_5pct):
+        """Section 4.4: power = speedup * tau / (tau + T_supply)."""
+        report = model_wo_5pct.solve(9)
+        assert math.isclose(report.processing_power,
+                            report.speedup * 2.5 / 3.5, rel_tol=1e-12)
+
+    def test_efficiency_below_one(self, model_wo_5pct):
+        report = model_wo_5pct.solve(10)
+        assert 0.0 < report.efficiency < 1.0
+
+    def test_single_processor_speedup_below_one(self, model_wo_5pct):
+        """Memory stalls make one processor slower than the ideal
+        (tau + T_supply) cycle: Table 4.1 reports 0.855 at 5 % sharing."""
+        report = model_wo_5pct.solve(1)
+        assert 0.8 < report.speedup < 0.9
+
+    def test_summary_mentions_key_numbers(self, model_wo_5pct):
+        text = model_wo_5pct.solve(4).summary()
+        assert "Write-Once" in text
+        assert "N=4" in text
+        assert "speedup=" in text
+
+    def test_solve_many(self, model_wo_5pct):
+        reports = model_wo_5pct.solve_many([1, 2, 4])
+        assert [r.n_processors for r in reports] == [1, 2, 4]
+
+
+class TestModelBehaviour:
+    def test_speedup_monotone_in_n(self, model_wo_5pct):
+        speedups = [model_wo_5pct.speedup(n) for n in (1, 2, 4, 6, 8, 10)]
+        assert speedups == sorted(speedups)
+
+    def test_speedup_saturates(self, model_wo_5pct):
+        """Figure 4.1 / Table 4.1: performance flat beyond ~20 processors."""
+        s20 = model_wo_5pct.speedup(20)
+        s100 = model_wo_5pct.speedup(100)
+        assert abs(s100 - s20) / s20 < 0.02
+
+    def test_bus_utilization_saturates_at_one(self, model_wo_5pct):
+        assert model_wo_5pct.solve(100).u_bus == pytest.approx(1.0, abs=0.01)
+
+    def test_more_sharing_means_less_speedup(self):
+        """Figure 4.1: 1 % sharing outperforms 5 % outperforms 20 %."""
+        speedups = [
+            CacheMVAModel(appendix_a_workload(level)).speedup(10)
+            for level in SharingLevel
+        ]
+        assert speedups[0] > speedups[1] > speedups[2]
+
+    def test_mod1_beats_write_once(self, workload_5pct):
+        """Section 4.1: 'Modification 1 is clearly advantageous'."""
+        wo = CacheMVAModel(workload_5pct).speedup(10)
+        mod1 = CacheMVAModel(workload_5pct, ProtocolSpec.of(1)).speedup(10)
+        assert mod1 > wo * 1.05
+
+    def test_mods_2_3_have_little_effect(self, workload_5pct):
+        """Section 4.1: 'Modifications 2 and 3 have little effect for the
+        workload we investigated' -- within a few percent of base."""
+        wo = CacheMVAModel(workload_5pct).speedup(10)
+        for mods in [(2,), (3,)]:
+            s = CacheMVAModel(workload_5pct, ProtocolSpec.of(*mods)).speedup(10)
+            assert abs(s - wo) / wo < 0.05, mods
+
+    def test_mod4_gain_grows_with_sharing(self):
+        """Section 4.1: 'Modification 4 is more advantageous as system
+        size and the level of sharing increase.'"""
+        gains = []
+        for level in SharingLevel:
+            w = appendix_a_workload(level)
+            base = CacheMVAModel(w, ProtocolSpec.of(1)).speedup(100)
+            mod4 = CacheMVAModel(w, ProtocolSpec.of(1, 4)).speedup(100)
+            gains.append(mod4 / base)
+        assert gains[0] < gains[1] < gains[2]
+        assert gains[2] > 1.2
+
+    def test_custom_solver_respected(self, workload_5pct):
+        solver = FixedPointSolver(tolerance=1e-3)
+        report = CacheMVAModel(workload_5pct, solver=solver).solve(10)
+        assert report.iterations <= 15
+
+    def test_faster_memory_helps(self, workload_5pct):
+        slow = CacheMVAModel(workload_5pct,
+                             arch=ArchitectureParams(memory_latency=10.0))
+        fast = CacheMVAModel(workload_5pct,
+                             arch=ArchitectureParams(memory_latency=1.0))
+        assert fast.speedup(10) > slow.speedup(10)
+
+    def test_report_converged_flag(self, model_wo_5pct):
+        assert model_wo_5pct.solve(10).converged

@@ -1,0 +1,170 @@
+"""Hypothesis property tests on the MVA model's global invariants.
+
+These run the full fixed-point solve on randomly generated (valid)
+workloads, protocols and system sizes, and check the physics the model
+must never violate regardless of parameters:
+
+* R >= tau + T_supply (a request cannot beat the no-contention path);
+* speedup <= N, and <= the bus-capacity bound;
+* utilizations and probabilities stay in range;
+* adding processors never reduces total throughput;
+* inflating any contention parameter never helps.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import CacheMVAModel
+from repro.core.solver import FixedPointSolver
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.parameters import WorkloadParameters
+
+
+@st.composite
+def workloads(draw) -> WorkloadParameters:
+    prob = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+    a = draw(st.floats(min_value=0.05, max_value=1.0))
+    b = draw(st.floats(min_value=0.0, max_value=1.0))
+    c = draw(st.floats(min_value=0.0, max_value=1.0))
+    total = a + b + c
+    return WorkloadParameters(
+        tau=draw(st.floats(min_value=0.0, max_value=20.0)),
+        p_private=a / total, p_sro=b / total, p_sw=c / total,
+        h_private=draw(prob), h_sro=draw(prob), h_sw=draw(prob),
+        r_private=draw(prob), r_sw=draw(prob),
+        amod_private=draw(prob), amod_sw=draw(prob),
+        csupply_sro=draw(prob), csupply_sw=draw(prob),
+        wb_csupply=draw(prob), rep_p=draw(prob), rep_sw=draw(prob),
+    )
+
+
+PROTOCOLS = st.builds(
+    lambda mods: ProtocolSpec.of(*mods),
+    st.sets(st.integers(min_value=1, max_value=4), max_size=4))
+SIZES = st.integers(min_value=1, max_value=128)
+
+#: Tolerant solver: extreme random workloads may need damping-free
+#: iteration past the default comfort zone.
+SOLVER = FixedPointSolver(max_iterations=3000, raise_on_divergence=False)
+
+
+def _solve(workload, protocol, n):
+    model = CacheMVAModel(workload, protocol, solver=SOLVER)
+    return model, model.solve(n)
+
+
+class TestPhysicalInvariants:
+    @given(workloads(), PROTOCOLS, SIZES)
+    @settings(max_examples=150, deadline=None)
+    def test_cycle_time_floor_and_speedup_ceiling(self, w, protocol, n):
+        model, report = _solve(w, protocol, n)
+        assume(report.converged)
+        ideal = model.workload.tau + 1.0
+        assert report.cycle_time >= ideal - 1e-9
+        assert report.speedup <= n + 1e-9
+        assert report.speedup >= 0.0
+
+    @given(workloads(), PROTOCOLS, SIZES)
+    @settings(max_examples=150, deadline=None)
+    def test_reported_quantities_in_range(self, w, protocol, n):
+        model, report = _solve(w, protocol, n)
+        assume(report.converged)
+        assert 0.0 <= report.u_bus <= 1.0
+        assert 0.0 <= report.u_mem <= 1.0
+        assert report.w_bus >= 0.0
+        assert report.w_mem >= 0.0
+        assert report.q_bus >= 0.0
+        assert 0.0 <= report.p_prime_interference <= report.p_interference <= 1.0
+        assert math.isfinite(report.cycle_time)
+
+    @given(workloads(), PROTOCOLS, SIZES)
+    @settings(max_examples=100, deadline=None)
+    def test_bus_capacity_bound_approximately(self, w, protocol, n):
+        """The true system obeys speedup <= (tau+1) / (bus demand per
+        request).  The *approximate* MVA can overshoot this bound in
+        deep saturation (the equation-6 arrival estimate drops the
+        arriving customer; with tau ~ 0 and all-miss workloads the
+        overshoot reaches ~15 %).  The property we hold the model to is
+        that the violation stays bounded -- everywhere."""
+        model, report = _solve(w, protocol, n)
+        assume(report.converged)
+        inp = model.inputs
+        bus_per_request = inp.p_bc * inp.t_bc + inp.p_rr * inp.t_read
+        assume(bus_per_request > 1e-9)
+        bound = (model.workload.tau + 1.0) / bus_per_request
+        assert report.speedup <= bound * 1.20
+
+    @given(workloads(), PROTOCOLS)
+    @settings(max_examples=80, deadline=None)
+    def test_throughput_nearly_monotone_in_n(self, w, protocol):
+        """Total request throughput N/R never drops *materially* when N
+        grows.  Exact monotonicity fails in deep saturation for the
+        same arrival-estimate reason as the capacity bound; the drop is
+        bounded at ~15 %."""
+        values = []
+        for n in (1, 4, 16, 64):
+            _, report = _solve(w, protocol, n)
+            assume(report.converged)
+            values.append(n / report.cycle_time)
+        for earlier, later in zip(values, values[1:]):
+            assert later >= earlier * 0.85
+
+
+class TestParameterMonotonicity:
+    @given(workloads(), st.integers(min_value=2, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_hit_rate_improvement_never_hurts(self, w, n):
+        assume(w.h_private <= 0.98)
+        _, base = _solve(w, ProtocolSpec(), n)
+        better = w.replace(h_private=min(w.h_private + 0.02, 1.0))
+        _, improved = _solve(better, ProtocolSpec(), n)
+        assume(base.converged and improved.converged)
+        assert improved.speedup >= base.speedup * (1.0 - 1e-6)
+
+    @given(workloads(), st.integers(min_value=2, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_slower_thinking_lowers_utilization(self, w, n):
+        _, base = _solve(w, ProtocolSpec(), n)
+        slower = w.replace(tau=w.tau + 5.0)
+        _, relaxed = _solve(slower, ProtocolSpec(), n)
+        assume(base.converged and relaxed.converged)
+        assert relaxed.u_bus <= base.u_bus + 1e-6
+
+    @given(workloads(), st.integers(min_value=2, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_more_writebacks_never_help(self, w, n):
+        assume(w.rep_p <= 0.9)
+        _, base = _solve(w, ProtocolSpec(), n)
+        worse = w.replace(rep_p=min(w.rep_p + 0.1, 1.0))
+        _, degraded = _solve(worse, ProtocolSpec(), n)
+        assume(base.converged and degraded.converged)
+        assert degraded.speedup <= base.speedup * (1.0 + 1e-6)
+
+
+class TestSolverRobustness:
+    @given(workloads(), PROTOCOLS, SIZES)
+    @settings(max_examples=150, deadline=None)
+    def test_solver_always_terminates_cleanly(self, w, protocol, n):
+        """No exceptions, no NaNs, for any valid input."""
+        model = CacheMVAModel(w, protocol, solver=SOLVER)
+        report = model.solve(n)
+        assert math.isfinite(report.cycle_time)
+        assert report.cycle_time > 0.0
+
+    @given(workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_damping_reaches_same_fixed_point(self, w):
+        plain = CacheMVAModel(
+            w, solver=FixedPointSolver(max_iterations=3000,
+                                       raise_on_divergence=False))
+        damped = CacheMVAModel(
+            w, solver=FixedPointSolver(max_iterations=3000, damping=0.5,
+                                       raise_on_divergence=False))
+        a, b = plain.solve(16), damped.solve(16)
+        assume(a.converged and b.converged)
+        assert a.speedup == pytest.approx(b.speedup, rel=1e-4)

@@ -1,0 +1,92 @@
+"""Tests for the design-space exploration helpers."""
+
+import math
+
+import pytest
+
+from repro.core.sensitivity import (
+    asymptotic_speedup,
+    parameter_sensitivity,
+    protocol_comparison,
+    speedup_curve,
+    sweep_parameter,
+)
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+
+class TestSpeedupCurve:
+    def test_points_match_direct_solve(self, workload_5pct):
+        from repro.core.model import CacheMVAModel
+        curve = speedup_curve(workload_5pct, ProtocolSpec(), [1, 4, 10])
+        model = CacheMVAModel(workload_5pct, ProtocolSpec())
+        for n, s in curve:
+            assert math.isclose(s, model.speedup(n))
+
+    def test_curve_ordering(self, workload_5pct):
+        curve = speedup_curve(workload_5pct, ProtocolSpec(), [1, 2, 4, 8, 16])
+        speedups = [s for _, s in curve]
+        assert speedups == sorted(speedups)
+
+
+class TestAsymptoticSpeedup:
+    def test_matches_large_n_solve(self, workload_5pct):
+        from repro.core.model import CacheMVAModel
+        limit = asymptotic_speedup(workload_5pct, ProtocolSpec())
+        direct = CacheMVAModel(workload_5pct, ProtocolSpec()).speedup(4096)
+        assert limit == pytest.approx(direct, rel=1e-2)
+
+    def test_table_41_asymptote_consistency(self, workload_5pct):
+        """Table 4.1(a) shows the N=100 column as effectively asymptotic."""
+        from repro.core.model import CacheMVAModel
+        limit = asymptotic_speedup(workload_5pct, ProtocolSpec())
+        s100 = CacheMVAModel(workload_5pct, ProtocolSpec()).speedup(100)
+        assert limit == pytest.approx(s100, rel=0.02)
+
+    def test_mod14_asymptote_beats_mod1(self):
+        """Section 4.1: 'The asymptotic results indicate a greater
+        potential gain for modification 4 than was evident from previous
+        results for ten processors.'"""
+        w = appendix_a_workload(SharingLevel.TWENTY_PERCENT)
+        lim_1 = asymptotic_speedup(w, ProtocolSpec.of(1))
+        lim_14 = asymptotic_speedup(w, ProtocolSpec.of(1, 4))
+        gain_at_10 = (lambda a, b: b / a)(
+            *[__import__("repro").CacheMVAModel(w, p).speedup(10)
+              for p in (ProtocolSpec.of(1), ProtocolSpec.of(1, 4))])
+        assert lim_14 / lim_1 > gain_at_10
+
+
+class TestSweeps:
+    def test_sweep_parameter_values(self, workload_5pct):
+        points = sweep_parameter(workload_5pct, ProtocolSpec(), 10,
+                                 "h_private", [0.90, 0.95, 0.99])
+        assert [p.value for p in points] == [0.90, 0.95, 0.99]
+        # Better hit rates -> better speedup.
+        assert points[0].speedup < points[1].speedup < points[2].speedup
+
+    def test_sweep_reports_utilization(self, workload_5pct):
+        points = sweep_parameter(workload_5pct, ProtocolSpec(), 10,
+                                 "h_private", [0.5, 0.95])
+        assert points[0].u_bus > points[1].u_bus
+
+    def test_sensitivity_sign(self, workload_5pct):
+        """Higher private hit rate must help; higher wb_csupply must hurt."""
+        assert parameter_sensitivity(workload_5pct, ProtocolSpec(), 10,
+                                     "h_private") > 0.0
+        assert parameter_sensitivity(workload_5pct, ProtocolSpec(), 10,
+                                     "wb_csupply") < 0.0
+
+    def test_sensitivity_rejects_degenerate_range(self, workload_5pct):
+        with pytest.raises(ValueError):
+            parameter_sensitivity(workload_5pct.replace(h_sw=0.0),
+                                  ProtocolSpec(), 10, "h_sw", delta=0.0)
+
+
+class TestProtocolComparison:
+    def test_labels_and_ordering(self, workload_5pct):
+        comp = protocol_comparison(
+            workload_5pct,
+            [ProtocolSpec(), ProtocolSpec.of(1), ProtocolSpec.of(1, 4)],
+            n_processors=20)
+        assert set(comp) == {"Write-Once", "WO+1", "WO+1+4"}
+        assert comp["Write-Once"] < comp["WO+1"] < comp["WO+1+4"]

@@ -1,0 +1,117 @@
+"""Tests for the fixed-point solver."""
+
+import math
+
+import pytest
+
+from repro.core.equations import EquationSystem, ModelState
+from repro.core.solver import FixedPointSolver, SolverError
+from repro.workload.derived import derive_inputs
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+
+@pytest.fixture
+def system_10(workload_5pct):
+    return EquationSystem(derive_inputs(workload_5pct), n_processors=10)
+
+
+class TestConvergence:
+    def test_converges_from_cold_start(self, system_10):
+        state, diag = FixedPointSolver().solve(system_10)
+        assert diag.converged
+        assert diag.final_residual < 1e-9
+        assert state.response is not None
+
+    def test_fixed_point_is_self_consistent(self, system_10):
+        """Applying one more sweep must not move the solution."""
+        state, _ = FixedPointSolver().solve(system_10)
+        again = system_10.step(state)
+        assert state.distance(again) < 1e-7
+
+    def test_paper_iteration_claim(self):
+        """Section 3.2: 'converged within 15 iterations in all experiments
+        reported in this paper' -- checked at the paper's own tolerance
+        scale (3 significant digits) over all its parameter points."""
+        solver = FixedPointSolver(tolerance=1e-3)
+        for level in SharingLevel:
+            inputs = derive_inputs(appendix_a_workload(level))
+            for n in (1, 2, 4, 6, 8, 10, 15, 20, 100):
+                _, diag = solver.solve(EquationSystem(inputs, n))
+                assert diag.converged
+                assert diag.iterations <= 15, (level, n, diag.iterations)
+
+    def test_iterations_do_not_grow_with_system_size(self, workload_5pct):
+        """Section 3.2: solution effort independent of N."""
+        inputs = derive_inputs(workload_5pct)
+        iters = {}
+        for n in (10, 100, 1000, 10000):
+            _, diag = FixedPointSolver().solve(EquationSystem(inputs, n))
+            iters[n] = diag.iterations
+        assert max(iters.values()) <= 3 * min(iters.values())
+
+    def test_trace_monotone_r_growth(self, system_10):
+        """R grows from the cold start towards the fixed point."""
+        _, diag = FixedPointSolver().solve(system_10)
+        trace = diag.trace
+        assert len(trace) == diag.iterations
+        assert trace[0] <= trace[-1] + 1e-9
+
+    def test_damped_solution_matches_undamped(self, system_10):
+        plain, _ = FixedPointSolver().solve(system_10)
+        damped, _ = FixedPointSolver(damping=0.5).solve(system_10)
+        assert plain.distance(damped) < 1e-6
+
+    def test_warm_start_converges_fast(self, system_10):
+        state, _ = FixedPointSolver().solve(system_10)
+        _, diag = FixedPointSolver().solve(system_10, initial=state)
+        assert diag.iterations <= 2
+
+
+class TestFailureModes:
+    def test_iteration_cap_raises(self, system_10):
+        solver = FixedPointSolver(tolerance=1e-30, max_iterations=3)
+        with pytest.raises(SolverError, match="fixed point not reached"):
+            solver.solve(system_10)
+
+    def test_iteration_cap_soft_mode(self, system_10):
+        solver = FixedPointSolver(tolerance=1e-30, max_iterations=3,
+                                  raise_on_divergence=False)
+        state, diag = solver.solve(system_10)
+        assert not diag.converged
+        assert diag.iterations == 3
+        assert state.response is not None
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointSolver(tolerance=0.0)
+        with pytest.raises(ValueError):
+            FixedPointSolver(max_iterations=0)
+        with pytest.raises(ValueError):
+            FixedPointSolver(damping=0.0)
+        with pytest.raises(ValueError):
+            FixedPointSolver(damping=1.5)
+
+
+class TestExtremeInputs:
+    """The solver must stay finite even where the model is stressed."""
+
+    def test_zero_think_time_saturates_but_converges(self, workload_5pct):
+        inputs = derive_inputs(workload_5pct.replace(tau=0.0))
+        state, diag = FixedPointSolver().solve(EquationSystem(inputs, 20))
+        assert diag.converged
+        assert math.isfinite(state.cycle_time)
+        assert state.cycle_time > 0.0
+
+    def test_miss_storm_converges(self, workload_5pct):
+        w = workload_5pct.replace(h_private=0.0, h_sro=0.0, h_sw=0.0)
+        state, diag = FixedPointSolver().solve(
+            EquationSystem(derive_inputs(w), 50))
+        assert diag.converged
+        # Nearly every reference queues for the bus: R ~ N * t_read.
+        assert state.u_bus > 0.9
+
+    def test_huge_system_converges(self, workload_5pct):
+        inputs = derive_inputs(workload_5pct)
+        state, diag = FixedPointSolver().solve(EquationSystem(inputs, 100000))
+        assert diag.converged
+        assert state.u_bus == pytest.approx(1.0, abs=0.01)

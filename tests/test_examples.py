@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs and prints its key output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "design_space.py",
+            "validate_with_simulation.py", "asymptotic_scaling.py",
+            "gtpn_demo.py", "hierarchical_scaling.py",
+            "trace_calibration.py"} <= scripts
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "speedup" in out
+    assert "bus-saturated speedup limit" in out
+
+
+def test_design_space():
+    out = _run("design_space.py")
+    assert "all 16 modification combinations" in out
+    assert "dragon" in out
+    assert "block-size sensitivity" in out
+
+
+@pytest.mark.slow
+def test_validate_with_simulation_fast():
+    out = _run("validate_with_simulation.py", "--fast")
+    assert "max |error|" in out
+    assert "Write-Once" in out
+
+
+def test_asymptotic_scaling():
+    out = _run("asymptotic_scaling.py")
+    assert "gain of modification 4" in out
+    assert "saturate" in out
+
+
+def test_gtpn_demo():
+    out = _run("gtpn_demo.py")
+    assert "states" in out
+    assert "MVA speedup" in out
+
+
+def test_hierarchical_scaling():
+    out = _run("hierarchical_scaling.py")
+    assert "flat single-bus speedup limit" in out
+    assert "cluster scaling" in out
+
+
+@pytest.mark.slow
+def test_trace_calibration():
+    out = _run("trace_calibration.py")
+    assert "protocol ranking" in out
+    assert "csupply" in out

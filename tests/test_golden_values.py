@@ -1,0 +1,73 @@
+"""Golden regression pins.
+
+These exact values were produced by the reviewed implementation and are
+recorded to three decimals in EXPERIMENTS.md.  Any model change that
+moves them is either a bug or a deliberate re-derivation -- in both
+cases this test should fail loudly so EXPERIMENTS.md gets re-measured.
+"""
+
+import pytest
+
+from repro.core.model import CacheMVAModel
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.parameters import (
+    SharingLevel,
+    appendix_a_workload,
+    stress_test_workload,
+)
+
+#: (mods, sharing) -> {N: speedup}; values pinned from the build that
+#: generated EXPERIMENTS.md.
+GOLDEN_SPEEDUPS = {
+    ((), SharingLevel.ONE_PERCENT): {
+        1: 0.869605, 10: 5.791863, 100: 6.466756},
+    ((), SharingLevel.FIVE_PERCENT): {
+        1: 0.851243, 10: 5.152559, 100: 5.590249},
+    ((), SharingLevel.TWENTY_PERCENT): {
+        1: 0.826573, 10: 4.458310, 100: 4.701580},
+    ((1,), SharingLevel.FIVE_PERCENT): {
+        1: 0.863594, 10: 6.047636, 100: 6.357191},
+    ((1, 4), SharingLevel.FIVE_PERCENT): {
+        1: 0.881432, 10: 6.743989, 100: 7.453585},
+    ((1, 2, 3, 4), SharingLevel.FIVE_PERCENT): {
+        1: 0.882153, 10: 6.777068, 100: 7.508690},
+}
+
+
+class TestGoldenSpeedups:
+    @pytest.mark.parametrize("key", sorted(GOLDEN_SPEEDUPS,
+                                           key=lambda k: (k[0], k[1].value)))
+    def test_pinned_values(self, key):
+        mods, level = key
+        model = CacheMVAModel(appendix_a_workload(level),
+                              ProtocolSpec.of(*mods))
+        for n, expected in GOLDEN_SPEEDUPS[key].items():
+            assert model.speedup(n) == pytest.approx(expected, abs=5e-4), n
+
+
+class TestGoldenDerivedInputs:
+    def test_five_percent_write_once_inputs(self):
+        model = CacheMVAModel(appendix_a_workload(SharingLevel.FIVE_PERCENT))
+        inp = model.inputs
+        assert inp.p_local == pytest.approx(0.856275, abs=1e-6)
+        assert inp.p_bc == pytest.approx(0.084725, abs=1e-6)
+        assert inp.p_rr == pytest.approx(0.059, abs=1e-9)
+        assert inp.t_read == pytest.approx(8.930670, abs=1e-5)
+        assert inp.p_csupwb_rr == pytest.approx(0.032668, abs=1e-5)
+        assert inp.p_reqwb_rr == pytest.approx(0.20, abs=1e-9)
+
+    def test_stress_inputs(self):
+        model = CacheMVAModel(stress_test_workload())
+        assert model.inputs.p_rr == pytest.approx(0.22, abs=1e-9)
+        ci = model.system(10).interference
+        assert ci.p == pytest.approx(0.323660, abs=1e-4)
+        assert ci.t_interference == pytest.approx(1.903551, abs=1e-4)
+
+
+class TestGoldenProcessingPower:
+    def test_e7_value(self):
+        """The Section 4.4 comparison point pinned: 4.249."""
+        model = CacheMVAModel(appendix_a_workload(SharingLevel.FIVE_PERCENT),
+                              ProtocolSpec.of(1, 2, 3))
+        assert model.solve(9).processing_power == pytest.approx(4.249,
+                                                                abs=5e-3)

@@ -1,0 +1,164 @@
+"""Tests for the discrete-time deterministic-firing engine."""
+
+import pytest
+
+from repro.gtpn.discrete import (
+    Deterministic,
+    DiscreteTimedNet,
+    Geometric,
+    Immediate,
+    discrete_coherence_net,
+    solve_discrete,
+    solve_discrete_coherence_speedup,
+)
+from repro.workload.derived import derive_inputs
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+
+def _closed_loop(think, serve):
+    net = DiscreteTimedNet()
+    net.add_place("a", tokens=1)
+    net.add_place("b")
+    t = net.add_transition("think", think)
+    net.connect("a", t)
+    net.connect("b", t, out=True)
+    s = net.add_transition("serve", serve)
+    net.connect("b", s)
+    net.connect("a", s, out=True)
+    return net
+
+
+def _integer_workload():
+    return appendix_a_workload(SharingLevel.FIVE_PERCENT).replace(
+        csupply_sro=0.0, csupply_sw=0.0, wb_csupply=0.0,
+        rep_p=0.0, rep_sw=0.0)
+
+
+class TestDurations:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Deterministic(0)
+        with pytest.raises(ValueError):
+            Geometric(0.0)
+        with pytest.raises(ValueError):
+            Geometric(1.5)
+
+
+class TestBuilder:
+    def test_duplicate_names(self):
+        net = DiscreteTimedNet()
+        net.add_place("p")
+        with pytest.raises(ValueError):
+            net.add_place("p")
+        net.add_transition("t", Immediate())
+        with pytest.raises(ValueError):
+            net.add_transition("t", Immediate())
+
+    def test_bad_params(self):
+        net = DiscreteTimedNet()
+        with pytest.raises(ValueError):
+            net.add_place("p", tokens=-1)
+        with pytest.raises(ValueError):
+            net.add_transition("t", Immediate(), weight=0.0)
+        with pytest.raises(ValueError):
+            net.add_transition("t2", Immediate(), servers=0)
+
+
+class TestOracles:
+    def test_deterministic_cycle(self):
+        """Think 3 + serve 2 cycles -> exactly 1/5 completions per cycle."""
+        sol = solve_discrete(_closed_loop(Deterministic(3), Deterministic(2)))
+        assert sol.throughput("serve") == pytest.approx(0.2, abs=1e-12)
+
+    def test_geometric_plus_deterministic_cycle(self):
+        """Mean cycle = 1/p + d exactly (renewal reward)."""
+        sol = solve_discrete(_closed_loop(Geometric(0.5), Deterministic(2)))
+        assert sol.throughput("serve") == pytest.approx(1.0 / (2.0 + 2.0))
+
+    def test_pure_geometric_cycle(self):
+        sol = solve_discrete(_closed_loop(Geometric(0.25), Geometric(0.5)))
+        assert sol.throughput("serve") == pytest.approx(1.0 / (4.0 + 2.0))
+
+    def test_two_customers_one_server(self):
+        """Two deterministic customers pipelining through one server:
+        with think 1 and serve 2 the server saturates at 1/2."""
+        net = DiscreteTimedNet()
+        net.add_place("a", tokens=2)
+        net.add_place("b")
+        t = net.add_transition("think", Deterministic(1), servers=None)
+        net.connect("a", t)
+        net.connect("b", t, out=True)
+        s = net.add_transition("serve", Deterministic(2), servers=1)
+        net.connect("b", s)
+        net.connect("a", s, out=True)
+        sol = solve_discrete(net)
+        assert sol.throughput("serve") == pytest.approx(0.5, abs=1e-9)
+
+    def test_immediate_branch_weights(self):
+        """A 3:1 immediate fork routes throughput 75/25."""
+        net = DiscreteTimedNet()
+        net.add_place("src", tokens=1)
+        net.add_place("fork")
+        go = net.add_transition("go", Deterministic(2))
+        net.connect("src", go)
+        net.connect("fork", go, out=True)
+        left = net.add_transition("left", Immediate(), weight=3.0)
+        net.connect("fork", left)
+        net.connect("src", left, out=True)
+        right = net.add_transition("right", Immediate(), weight=1.0)
+        net.connect("fork", right)
+        net.connect("src", right, out=True)
+        sol = solve_discrete(net)
+        assert sol.throughput("left") == pytest.approx(
+            3.0 * sol.throughput("right"), rel=1e-9)
+
+    def test_state_budget(self):
+        net = _closed_loop(Deterministic(50), Deterministic(50))
+        with pytest.raises(RuntimeError, match="explodes"):
+            solve_discrete(net, max_states=10)
+
+
+class TestDiscreteCoherence:
+    def test_rejects_non_integer_times(self):
+        inputs = derive_inputs(appendix_a_workload(SharingLevel.FIVE_PERCENT))
+        with pytest.raises(ValueError, match="integer bus times"):
+            discrete_coherence_net(2, inputs)
+
+    def test_matches_des_closely(self):
+        """Deterministic chain vs deterministic-time DES: the two share
+        service distributions, so agreement is tighter than either gets
+        with the MVA."""
+        from repro.sim import SimulationConfig, simulate
+        w = _integer_workload()
+        inputs = derive_inputs(w)
+        for n in (1, 2, 3):
+            det, _ = solve_discrete_coherence_speedup(n, inputs)
+            sim = simulate(SimulationConfig(
+                n_processors=n, workload=w, seed=3,
+                warmup_requests=3_000, measured_requests=30_000))
+            assert det == pytest.approx(sim.speedup, rel=0.02), n
+
+    def test_beats_exponential_chain_against_des(self):
+        """The fidelity ordering: deterministic chain closer to the DES
+        than the exponential chain at contention."""
+        from repro.gtpn import solve_coherence_speedup
+        from repro.sim import SimulationConfig, simulate
+        w = _integer_workload()
+        inputs = derive_inputs(w)
+        n = 3
+        det, _ = solve_discrete_coherence_speedup(n, inputs)
+        expo = solve_coherence_speedup(n, inputs).speedup
+        sim = simulate(SimulationConfig(
+            n_processors=n, workload=w, seed=5,
+            warmup_requests=3_000, measured_requests=40_000)).speedup
+        assert abs(det - sim) < abs(expo - sim)
+
+    def test_clocks_in_state_cost(self):
+        """Deterministic timing carries remaining-time in the state, so
+        the chain is larger than the memoryless one -- the paper's cost
+        story in its purest form."""
+        from repro.gtpn import solve_coherence_speedup
+        inputs = derive_inputs(_integer_workload())
+        _, det_states = solve_discrete_coherence_speedup(3, inputs)
+        expo_states = solve_coherence_speedup(3, inputs).n_states
+        assert det_states > expo_states

@@ -1,0 +1,156 @@
+"""Tests for the Petri-net structure and firing semantics."""
+
+import pytest
+
+from repro.gtpn.net import PetriNet, erlang_stages
+
+
+@pytest.fixture
+def simple_net():
+    net = PetriNet("simple")
+    a = net.add_place("a", tokens=2)
+    b = net.add_place("b")
+    t = net.add_transition("t", rate=1.0)
+    net.connect(a, t)
+    net.connect(t, b)
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self, simple_net):
+        with pytest.raises(ValueError, match="duplicate place"):
+            simple_net.add_place("a")
+        with pytest.raises(ValueError, match="duplicate transition"):
+            simple_net.add_transition("t", rate=1.0)
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            PetriNet().add_place("p", tokens=-1)
+
+    def test_bad_transition_params(self):
+        net = PetriNet()
+        with pytest.raises(ValueError, match="rate"):
+            net.add_transition("x", rate=0.0)
+        with pytest.raises(ValueError, match="weight"):
+            net.add_transition("y", weight=0.0)
+        with pytest.raises(ValueError, match="servers"):
+            net.add_transition("z", rate=1.0, servers=0)
+
+    def test_arc_type_checked(self, simple_net):
+        with pytest.raises(TypeError):
+            simple_net.connect(simple_net.place("a"), simple_net.place("b"))
+
+    def test_lookup(self, simple_net):
+        assert simple_net.place("a").name == "a"
+        assert simple_net.transition("t").name == "t"
+
+    def test_initial_marking(self, simple_net):
+        assert simple_net.initial_marking == (2, 0)
+
+
+class TestFiring:
+    def test_enabled_and_fire(self, simple_net):
+        t = simple_net.transition("t")
+        m = simple_net.initial_marking
+        assert simple_net.is_enabled(t, m)
+        m2 = simple_net.fire(t, m)
+        assert m2 == (1, 1)
+        m3 = simple_net.fire(t, m2)
+        assert m3 == (0, 2)
+        assert not simple_net.is_enabled(t, m3)
+
+    def test_fire_disabled_raises(self, simple_net):
+        t = simple_net.transition("t")
+        with pytest.raises(ValueError, match="not enabled"):
+            simple_net.fire(t, (0, 0))
+
+    def test_multiplicity(self):
+        net = PetriNet()
+        a = net.add_place("a", tokens=3)
+        b = net.add_place("b")
+        t = net.add_transition("t", rate=1.0)
+        net.connect(a, t, multiplicity=2)
+        net.connect(t, b, multiplicity=3)
+        assert net.enabling_degree(t, (3, 0)) == 1
+        assert net.fire(t, (3, 0)) == (1, 3)
+        assert net.enabling_degree(t, (1, 3)) == 0
+
+    def test_inhibitor_arc(self):
+        net = PetriNet()
+        a = net.add_place("a", tokens=1)
+        guard = net.add_place("guard", tokens=0)
+        t = net.add_transition("t", rate=1.0)
+        net.connect(a, t)
+        net.inhibit(guard, t)
+        assert net.is_enabled(t, (1, 0))
+        assert not net.is_enabled(t, (1, 1))
+
+    def test_enabling_degree_counts_concurrency(self, simple_net):
+        t = simple_net.transition("t")
+        assert simple_net.enabling_degree(t, (2, 0)) == 2
+
+    def test_effective_rate_server_semantics(self):
+        net = PetriNet()
+        a = net.add_place("a", tokens=5)
+        single = net.add_transition("single", rate=2.0, servers=1)
+        multi = net.add_transition("multi", rate=2.0, servers=3)
+        infinite = net.add_transition("inf", rate=2.0, servers=None)
+        for t in (single, multi, infinite):
+            net.connect(a, t)
+        m = (5,)
+        assert net.effective_rate(single, m) == 2.0
+        assert net.effective_rate(multi, m) == 6.0
+        assert net.effective_rate(infinite, m) == 10.0
+
+    def test_effective_rate_of_immediate_raises(self):
+        net = PetriNet()
+        a = net.add_place("a", tokens=1)
+        imm = net.add_transition("imm")
+        net.connect(a, imm)
+        with pytest.raises(ValueError):
+            net.effective_rate(imm, (1,))
+
+    def test_enabled_transitions_list(self, simple_net):
+        assert [t.name for t in
+                simple_net.enabled_transitions((1, 0))] == ["t"]
+        assert simple_net.enabled_transitions((0, 5)) == []
+
+
+class TestErlangStages:
+    def test_expansion_structure(self):
+        net = PetriNet()
+        src = net.add_place("src", tokens=1)
+        dst = net.add_place("dst")
+        ts = erlang_stages(net, "d", src, dst, mean_time=4.0, stages=4)
+        assert len(ts) == 4
+        assert all(t.rate == pytest.approx(1.0) for t in ts)
+        # 4 stages add 3 intermediate places.
+        assert len(net.places) == 5
+
+    def test_single_stage_is_plain_exponential(self):
+        net = PetriNet()
+        src = net.add_place("src", tokens=1)
+        dst = net.add_place("dst")
+        (t,) = erlang_stages(net, "d", src, dst, mean_time=2.0, stages=1)
+        assert t.rate == pytest.approx(0.5)
+        assert len(net.places) == 2
+
+    def test_validation(self):
+        net = PetriNet()
+        src = net.add_place("src", tokens=1)
+        dst = net.add_place("dst")
+        with pytest.raises(ValueError):
+            erlang_stages(net, "d", src, dst, mean_time=1.0, stages=0)
+        with pytest.raises(ValueError):
+            erlang_stages(net, "d", src, dst, mean_time=0.0, stages=2)
+
+    def test_token_conservation_through_stages(self):
+        net = PetriNet()
+        src = net.add_place("src", tokens=1)
+        dst = net.add_place("dst")
+        ts = erlang_stages(net, "d", src, dst, mean_time=3.0, stages=3)
+        m = net.initial_marking
+        for t in ts:
+            m = net.fire(t, m)
+        assert m[dst.pid] == 1
+        assert sum(m) == 1

@@ -1,0 +1,298 @@
+"""Tests for reachability, steady-state solution, and measures."""
+
+import math
+
+import pytest
+
+from repro.gtpn.markov import solve_steady_state
+from repro.gtpn.measures import SteadyStateMeasures
+from repro.gtpn.models import (
+    coherence_net,
+    machine_repairman_net,
+    mm1_net,
+    solve_coherence_speedup,
+)
+from repro.gtpn.net import PetriNet
+from repro.gtpn.reachability import StateSpaceExplosion, build_reachability
+from repro.queueing import MM1, delay, exact_mva, queueing
+from repro.workload.derived import derive_inputs
+
+
+def _measures(net):
+    graph = build_reachability(net)
+    return graph, SteadyStateMeasures(solve_steady_state(graph))
+
+
+class TestReachability:
+    def test_mm1_capacity_bounds_states(self):
+        graph = build_reachability(mm1_net(0.5, 1.0, capacity=7))
+        # markings (q, room) with q + room = 7 -> 8 states.
+        assert graph.n_states == 8
+        assert graph.n_tangible == 8
+        assert graph.n_vanishing == 0
+
+    def test_immediate_states_classified_vanishing(self):
+        net = PetriNet()
+        a = net.add_place("a", tokens=1)
+        b = net.add_place("b")
+        c = net.add_place("c")
+        slow = net.add_transition("slow", rate=1.0)
+        fast = net.add_transition("imm")
+        net.connect(a, slow)
+        net.connect(slow, b)
+        net.connect(b, fast)
+        net.connect(fast, c)
+        graph = build_reachability(net)
+        # a=1 tangible; b=1 vanishing; c=1 tangible (deadlock).
+        assert graph.n_vanishing == 1
+        assert graph.n_tangible == 2
+
+    def test_state_budget_enforced(self):
+        net = PetriNet()
+        a = net.add_place("a", tokens=0)
+        t = net.add_transition("source", rate=1.0)
+        net.connect(t, a)  # unbounded growth
+        with pytest.raises(StateSpaceExplosion):
+            build_reachability(net, max_states=50)
+
+    def test_edges_capture_rates(self):
+        net = mm1_net(0.5, 2.0, capacity=3)
+        graph = build_reachability(net)
+        first = graph.edges[graph.state_id(net.initial_marking)]
+        assert len(first) == 1  # only arrivals from the empty state
+        assert first[0].value == pytest.approx(0.5)
+
+
+class TestSteadyStateOracles:
+    def test_mm1_queue_length(self):
+        """Large capacity approximates the infinite M/M/1."""
+        net = mm1_net(0.5, 1.0, capacity=30)
+        _, m = _measures(net)
+        expected = MM1(0.5, 1.0).mean_queue_length
+        assert m.expected_tokens(net.place("queue")) == pytest.approx(
+            expected, rel=1e-3)
+
+    def test_mm1_utilization(self):
+        net = mm1_net(0.4, 1.0, capacity=30)
+        _, m = _measures(net)
+        assert m.utilization(net.place("queue")) == pytest.approx(0.4, rel=1e-3)
+
+    def test_mm1_throughput_balance(self):
+        net = mm1_net(0.6, 1.0, capacity=30)
+        _, m = _measures(net)
+        arrive = m.throughput(net.transition("arrive"))
+        serve = m.throughput(net.transition("serve"))
+        assert arrive == pytest.approx(serve, rel=1e-9)
+        assert serve == pytest.approx(0.6, rel=1e-3)
+
+    def test_repairman_matches_exact_mva(self):
+        """Exponential closed network: GTPN must equal product-form MVA."""
+        net = machine_repairman_net(6, think_rate=0.2, service_rate=1.0)
+        _, m = _measures(net)
+        gtpn_x = m.throughput(net.transition("repair"))
+        mva = exact_mva([delay("think", 5.0), queueing("server", 1.0)], 6)
+        assert gtpn_x == pytest.approx(mva.throughput, rel=1e-9)
+
+    def test_repairman_queue_matches_mva(self):
+        net = machine_repairman_net(4, think_rate=0.5, service_rate=1.0)
+        _, m = _measures(net)
+        mva = exact_mva([delay("think", 2.0), queueing("server", 1.0)], 4)
+        assert m.expected_tokens(net.place("waiting")) == pytest.approx(
+            mva.queue_lengths["server"], rel=1e-9)
+
+    def test_probabilities_sum_to_one(self):
+        net = machine_repairman_net(5, 0.3, 1.0)
+        graph, m = _measures(net)
+        total = m.probability(lambda marking: True)
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_probability_of_state(self):
+        net = mm1_net(0.5, 1.0, capacity=10)
+        graph = build_reachability(net)
+        steady = solve_steady_state(graph)
+        p_empty = steady.probability_of(graph.state_id(net.initial_marking))
+        # M/M/1/c with rho=0.5, c=10: p0 = (1-rho)/(1-rho^{c+1}).
+        expected = 0.5 / (1.0 - 0.5 ** 11)
+        assert p_empty == pytest.approx(expected, rel=1e-9)
+
+
+class TestVanishingElimination:
+    def test_immediate_branch_probabilities(self):
+        """A 70/30 immediate split must shape the downstream stationary
+        distribution accordingly."""
+        net = PetriNet()
+        src = net.add_place("src", tokens=1)
+        fork = net.add_place("fork")
+        left = net.add_place("left")
+        right = net.add_place("right")
+        go = net.add_transition("go", rate=1.0)
+        to_left = net.add_transition("to_left", weight=0.7)
+        to_right = net.add_transition("to_right", weight=0.3)
+        back_l = net.add_transition("back_l", rate=1.0)
+        back_r = net.add_transition("back_r", rate=1.0)
+        net.connect(src, go)
+        net.connect(go, fork)
+        net.connect(fork, to_left)
+        net.connect(to_left, left)
+        net.connect(fork, to_right)
+        net.connect(to_right, right)
+        net.connect(left, back_l)
+        net.connect(back_l, src)
+        net.connect(right, back_r)
+        net.connect(back_r, src)
+        _, m = _measures(net)
+        p_left = m.utilization(net.place("left"))
+        p_right = m.utilization(net.place("right"))
+        assert p_left / (p_left + p_right) == pytest.approx(0.7, rel=1e-9)
+
+    def test_immediate_throughput_matches_split(self):
+        net = PetriNet()
+        src = net.add_place("src", tokens=1)
+        fork = net.add_place("fork")
+        go = net.add_transition("go", rate=2.0)
+        a = net.add_transition("a", weight=1.0)
+        b = net.add_transition("b", weight=3.0)
+        net.connect(src, go)
+        net.connect(go, fork)
+        net.connect(fork, a)
+        net.connect(a, src)
+        net.connect(fork, b)
+        net.connect(b, src)
+        _, m = _measures(net)
+        x_go = m.throughput(net.transition("go"))
+        assert m.throughput(a) == pytest.approx(0.25 * x_go, rel=1e-9)
+        assert m.throughput(b) == pytest.approx(0.75 * x_go, rel=1e-9)
+
+    def test_chained_immediates(self):
+        """Two vanishing hops in a row fold correctly."""
+        net = PetriNet()
+        src = net.add_place("src", tokens=1)
+        v1 = net.add_place("v1")
+        v2 = net.add_place("v2")
+        dst = net.add_place("dst")
+        go = net.add_transition("go", rate=1.0)
+        i1 = net.add_transition("i1")
+        i2 = net.add_transition("i2")
+        back = net.add_transition("back", rate=1.0)
+        net.connect(src, go)
+        net.connect(go, v1)
+        net.connect(v1, i1)
+        net.connect(i1, v2)
+        net.connect(v2, i2)
+        net.connect(i2, dst)
+        net.connect(dst, back)
+        net.connect(back, src)
+        _, m = _measures(net)
+        # Symmetric two-state cycle in effect: half the time in each.
+        assert m.utilization(net.place("dst")) == pytest.approx(0.5, rel=1e-9)
+
+
+class TestCoherenceNet:
+    def test_small_system_close_to_mva(self, workload_5pct):
+        """At N=1-2 contention is mild, so the exponential GTPN should sit
+        within ~10 % of the MVA (service-distribution differences grow
+        with contention)."""
+        from repro.core.model import CacheMVAModel
+        inputs = derive_inputs(workload_5pct)
+        mva = CacheMVAModel(workload_5pct)
+        for n in (1, 2):
+            sol = solve_coherence_speedup(n, inputs)
+            assert sol.speedup == pytest.approx(mva.speedup(n), rel=0.10), n
+
+    def test_state_space_grows_fast(self, workload_5pct):
+        """The paper's Section 3.2 complaint, in miniature."""
+        inputs = derive_inputs(workload_5pct)
+        counts = [solve_coherence_speedup(n, inputs).n_states
+                  for n in (1, 2, 3, 4)]
+        assert counts == sorted(counts)
+        growth = [b / a for a, b in zip(counts, counts[1:])]
+        assert min(growth) > 1.4  # super-linear growth per added processor
+
+    def test_erlang_stages_increase_states_and_speedup(self, workload_5pct):
+        """Sharper (more deterministic) service reduces queueing variance
+        -> less waiting -> more speedup; and costs more states."""
+        inputs = derive_inputs(workload_5pct)
+        k1 = solve_coherence_speedup(3, inputs, erlang=1)
+        k4 = solve_coherence_speedup(3, inputs, erlang=4)
+        assert k4.n_states > 2 * k1.n_states
+        assert k4.speedup > k1.speedup
+
+    def test_erlang_ladder_converges(self, workload_5pct):
+        """The Erlang ladder increases monotonically (less service
+        variance -> less queueing) and converges towards the
+        deterministic-time limit, staying within a few percent of the
+        MVA (which the paper shows slightly *underestimates* the
+        deterministic detailed model)."""
+        from repro.core.model import CacheMVAModel
+        inputs = derive_inputs(workload_5pct)
+        mva = CacheMVAModel(workload_5pct).speedup(3)
+        ladder = [solve_coherence_speedup(3, inputs, erlang=k).speedup
+                  for k in (1, 2, 4, 6)]
+        assert ladder == sorted(ladder)
+        # Converging: later rungs move less than earlier ones.
+        assert ladder[3] - ladder[2] < ladder[1] - ladder[0]
+        for value in ladder:
+            assert value == pytest.approx(mva, rel=0.05)
+
+    def test_bus_utilization_reported(self, workload_5pct):
+        inputs = derive_inputs(workload_5pct)
+        sol = solve_coherence_speedup(4, inputs)
+        assert 0.0 < sol.bus_utilization < 1.0
+
+    def test_invalid_n(self, workload_5pct):
+        with pytest.raises(ValueError):
+            coherence_net(0, derive_inputs(workload_5pct))
+
+
+class TestDetailedCoherenceNet:
+    def test_much_larger_state_space(self, workload_5pct):
+        """The added mechanisms cost roughly an order of magnitude in
+        states -- the fidelity/cost trade the paper is about."""
+        inputs = derive_inputs(workload_5pct)
+        reduced = solve_coherence_speedup(3, inputs)
+        detailed = solve_coherence_speedup(3, inputs, detailed=True)
+        assert detailed.n_states > 5 * reduced.n_states
+
+    def test_agrees_with_reduced_and_mva(self, workload_5pct):
+        from repro.core.model import CacheMVAModel
+        inputs = derive_inputs(workload_5pct)
+        mva = CacheMVAModel(workload_5pct)
+        for n in (1, 2, 4):
+            detailed = solve_coherence_speedup(n, inputs, detailed=True)
+            assert detailed.speedup == pytest.approx(mva.speedup(n),
+                                                     rel=0.05), n
+
+    def test_memory_contention_slows_it_down(self, workload_5pct):
+        """With the module pool represented, broadcasts can stall on
+        memory, so the detailed net sits at or below the reduced one."""
+        inputs = derive_inputs(workload_5pct)
+        for n in (2, 3, 4):
+            reduced = solve_coherence_speedup(n, inputs)
+            detailed = solve_coherence_speedup(n, inputs, detailed=True)
+            assert detailed.speedup <= reduced.speedup + 1e-6, n
+
+    def test_mod3_skips_the_memory_stage(self, workload_5pct):
+        """Under modification 3 broadcasts do not touch memory, so the
+        detailed net omits the module pool on the broadcast path."""
+        from repro.gtpn.models import coherence_net_detailed
+        from repro.protocols.modifications import ProtocolSpec
+        w3 = ProtocolSpec.of(3).adjust_workload(workload_5pct)
+        inputs = derive_inputs(w3, mods={3})
+        net = coherence_net_detailed(2, inputs)
+        names = {t.name for t in net.transitions}
+        assert "bc_acquire_mem" not in names
+
+    def test_branch_variance_represented(self, workload_5pct):
+        """The detailed net has distinct remote-read service branches."""
+        from repro.gtpn.models import coherence_net_detailed
+        inputs = derive_inputs(workload_5pct)
+        net = coherence_net_detailed(2, inputs)
+        picks = [t.name for t in net.transitions if t.name.endswith("_pick")]
+        assert len(picks) >= 3
+
+    def test_detailed_mod2_uses_supply_branch(self, workload_5pct):
+        from repro.core.model import CacheMVAModel
+        from repro.protocols.modifications import ProtocolSpec
+        model = CacheMVAModel(workload_5pct, ProtocolSpec.of(2))
+        detailed = solve_coherence_speedup(3, model.inputs, detailed=True)
+        assert detailed.speedup == pytest.approx(model.speedup(3), rel=0.05)

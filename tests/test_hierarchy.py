@@ -1,0 +1,147 @@
+"""Tests for the hierarchical-bus MVA extension."""
+
+import math
+
+import pytest
+
+from repro.core.model import CacheMVAModel
+from repro.hierarchy import HierarchicalMVAModel, HierarchyParams
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+
+class TestHierarchyParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchyParams(clusters=0, per_cluster=4)
+        with pytest.raises(ValueError):
+            HierarchyParams(clusters=2, per_cluster=0)
+        with pytest.raises(ValueError):
+            HierarchyParams(clusters=2, per_cluster=4, cluster_locality=1.2)
+        with pytest.raises(ValueError):
+            HierarchyParams(clusters=2, per_cluster=4,
+                            global_overhead_cycles=-1.0)
+        with pytest.raises(ValueError):
+            HierarchyParams(clusters=2, per_cluster=4, cluster_cache_hit=2.0)
+
+    def test_n_processors(self):
+        assert HierarchyParams(clusters=4, per_cluster=8).n_processors == 32
+
+    def test_flat_detection(self):
+        assert HierarchyParams(clusters=1, per_cluster=8).is_flat
+        assert not HierarchyParams(clusters=2, per_cluster=8).is_flat
+
+    def test_uniform_sharing_locality(self):
+        params = HierarchyParams.uniform_sharing(clusters=4, per_cluster=4)
+        assert params.cluster_locality == pytest.approx(3 / 15)
+        single = HierarchyParams.uniform_sharing(clusters=1, per_cluster=1)
+        assert single.cluster_locality == 1.0
+
+
+class TestFlatReduction:
+    """With one cluster the extension must equal the paper's model."""
+
+    @pytest.mark.parametrize("k", [1, 2, 6, 10, 20])
+    def test_exact_reduction(self, workload_5pct, k):
+        flat = CacheMVAModel(workload_5pct).solve(k)
+        hier = HierarchicalMVAModel(
+            workload_5pct, HierarchyParams(clusters=1, per_cluster=k)).solve()
+        assert hier.speedup == pytest.approx(flat.speedup, rel=1e-6)
+        assert hier.w_local_bus == pytest.approx(flat.w_bus, rel=1e-6,
+                                                 abs=1e-9)
+        assert hier.w_global_bus == 0.0
+        assert hier.u_global_bus == 0.0
+
+    def test_reduction_holds_per_protocol(self, workload_20pct):
+        for mods in [(1,), (2, 3), (1, 2, 3, 4)]:
+            spec = ProtocolSpec.of(*mods)
+            flat = CacheMVAModel(workload_20pct, spec).solve(8)
+            hier = HierarchicalMVAModel(
+                workload_20pct, HierarchyParams(clusters=1, per_cluster=8),
+                protocol=spec).solve()
+            assert hier.speedup == pytest.approx(flat.speedup, rel=1e-6), mods
+
+
+class TestHierarchyBehaviour:
+    def test_breaks_the_flat_bus_ceiling(self, workload_5pct):
+        """The motivation: clustered buses push past the single-bus
+        saturation speedup."""
+        flat_limit = CacheMVAModel(workload_5pct).speedup(64)
+        hier = HierarchicalMVAModel(workload_5pct, HierarchyParams(
+            clusters=8, per_cluster=8, cluster_locality=0.9,
+            cluster_cache_hit=0.8)).solve()
+        assert hier.speedup > 1.5 * flat_limit
+
+    def test_more_clusters_until_global_saturates(self, workload_5pct):
+        speedups = []
+        for clusters in (2, 4, 8, 16):
+            hier = HierarchicalMVAModel(workload_5pct, HierarchyParams(
+                clusters=clusters, per_cluster=8, cluster_locality=0.9,
+                cluster_cache_hit=0.8)).solve()
+            speedups.append(hier.speedup)
+        assert speedups == sorted(speedups)
+        # Diminishing returns once the global bus saturates.
+        assert speedups[3] - speedups[2] < speedups[1] - speedups[0]
+
+    def test_locality_helps(self, workload_20pct):
+        def speedup(theta):
+            return HierarchicalMVAModel(workload_20pct, HierarchyParams(
+                clusters=4, per_cluster=8, cluster_locality=theta)).speedup()
+
+        assert speedup(0.9) > speedup(0.5) > speedup(0.1)
+
+    def test_cluster_cache_helps(self, workload_5pct):
+        def speedup(hit):
+            return HierarchicalMVAModel(workload_5pct, HierarchyParams(
+                clusters=4, per_cluster=8, cluster_cache_hit=hit)).speedup()
+
+        assert speedup(0.9) > speedup(0.5) > speedup(0.0)
+
+    def test_split_transactions_help(self, workload_5pct):
+        def speedup(split):
+            return HierarchicalMVAModel(workload_5pct, HierarchyParams(
+                clusters=4, per_cluster=8, split_transactions=split)).speedup()
+
+        assert speedup(True) > speedup(False)
+
+    def test_global_overhead_hurts(self, workload_5pct):
+        def speedup(overhead):
+            return HierarchicalMVAModel(workload_5pct, HierarchyParams(
+                clusters=4, per_cluster=8,
+                global_overhead_cycles=overhead)).speedup()
+
+        assert speedup(0.0) > speedup(4.0)
+
+    def test_escape_probabilities(self, workload_5pct):
+        model = HierarchicalMVAModel(workload_5pct, HierarchyParams(
+            clusters=4, per_cluster=8, cluster_locality=0.5,
+            cluster_cache_hit=0.75))
+        peer_local = model.inputs.p_csup_rr * 0.5
+        assert model.p_read_escape == pytest.approx(
+            (1.0 - peer_local) * 0.25)
+        # Write-Once broadcasts update memory -> always escape.
+        assert model.p_bc_escape == 1.0
+
+    def test_invalidates_can_stay_local(self, workload_5pct):
+        """Under modification 3 broadcasts skip memory, so locality
+        keeps a fraction of them off the global bus."""
+        model = HierarchicalMVAModel(
+            workload_5pct,
+            HierarchyParams(clusters=4, per_cluster=8, cluster_locality=0.7),
+            protocol=ProtocolSpec.of(3))
+        assert model.p_bc_escape == pytest.approx(0.3)
+
+    def test_report_measures_finite_and_converged(self, workload_20pct):
+        report = HierarchicalMVAModel(workload_20pct, HierarchyParams(
+            clusters=8, per_cluster=16)).solve()
+        assert report.converged
+        assert math.isfinite(report.speedup)
+        assert 0.0 <= report.u_local_bus <= 1.0
+        assert 0.0 <= report.u_global_bus <= 1.0
+        assert report.processing_power < report.n_processors
+
+    def test_speedup_formula(self, workload_5pct):
+        report = HierarchicalMVAModel(workload_5pct, HierarchyParams(
+            clusters=2, per_cluster=4)).solve()
+        expected = 8 * 3.5 / report.cycle_time
+        assert report.speedup == pytest.approx(expected)

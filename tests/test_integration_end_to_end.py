@@ -1,0 +1,119 @@
+"""End-to-end integration tests through the public API only.
+
+Each test is a realistic user workflow from the README/examples,
+exercising several subsystems together.
+"""
+
+import pytest
+
+import repro
+from repro import (
+    CacheMVAModel,
+    ProtocolSpec,
+    SharingLevel,
+    appendix_a_workload,
+    protocol_by_name,
+)
+
+
+class TestPublicApi:
+    def test_package_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestQuickstartWorkflow:
+    def test_readme_snippet(self):
+        workload = appendix_a_workload(SharingLevel.FIVE_PERCENT)
+        protocol = ProtocolSpec.of(1)
+        model = CacheMVAModel(workload, protocol)
+        report = model.solve(n_processors=10)
+        assert report.speedup == pytest.approx(6.05, abs=0.05)
+        assert 0.9 < report.u_bus <= 1.0
+        assert report.iterations < 100
+
+    def test_named_protocol_flow(self):
+        dragon = protocol_by_name("dragon")
+        assert dragon.mod_numbers == {1, 2, 3, 4}
+        speedup = CacheMVAModel(
+            appendix_a_workload(SharingLevel.FIVE_PERCENT), dragon).speedup(10)
+        assert speedup == pytest.approx(6.78, abs=0.05)
+
+
+class TestDesignSpaceWorkflow:
+    def test_rank_and_verify_with_simulation(self):
+        """Rank protocols with the MVA, then spot-check the winner and
+        the baseline with the detailed simulator."""
+        from repro.sim import SimulationConfig, simulate
+
+        workload = appendix_a_workload(SharingLevel.TWENTY_PERCENT)
+        candidates = [ProtocolSpec(), ProtocolSpec.of(1), ProtocolSpec.of(1, 4)]
+        ranked = sorted(
+            candidates,
+            key=lambda spec: CacheMVAModel(workload, spec).speedup(10))
+        assert ranked[-1] == ProtocolSpec.of(1, 4)
+        for spec in (ranked[0], ranked[-1]):
+            mva = CacheMVAModel(workload, spec).speedup(10)
+            sim = simulate(SimulationConfig(
+                n_processors=10, workload=workload, protocol=spec,
+                seed=1212, warmup_requests=3_000,
+                measured_requests=30_000)).speedup
+            assert mva == pytest.approx(sim, rel=0.07), spec.label
+
+
+class TestScaledHierarchyWorkflow:
+    def test_refined_sharing_inside_a_cluster_study(self):
+        """Combine the two extensions: size the clusters with the MVA,
+        using N-scaled csupply for the per-cluster workload."""
+        from repro.core.scaled import ScaledSharingMVAModel
+        from repro.hierarchy import HierarchicalMVAModel, HierarchyParams
+
+        base = appendix_a_workload(SharingLevel.FIVE_PERCENT)
+        scaled = ScaledSharingMVAModel(base, reference_size=10)
+        per_cluster = 8
+        cluster_workload = scaled.scaling.scale(scaled.workload, per_cluster)
+        report = HierarchicalMVAModel(cluster_workload, HierarchyParams(
+            clusters=8, per_cluster=per_cluster, cluster_locality=0.9,
+            cluster_cache_hit=0.8)).solve()
+        flat_ceiling = CacheMVAModel(base).speedup(1024)
+        assert report.converged
+        assert report.speedup > flat_ceiling
+
+    def test_measurement_to_model_to_simulation_triangle(self):
+        """trace -> parameters -> MVA, then the sampled-outcome DES on
+        the *measured* workload must agree with that MVA (the models are
+        input-compatible regardless of where the inputs came from)."""
+        from repro.sim import SimulationConfig, simulate
+        from repro.trace import (
+            CoherentCacheSystem,
+            GeneratorConfig,
+            SyntheticTraceGenerator,
+            WorkloadEstimator,
+        )
+
+        gen_cfg = GeneratorConfig(n_processors=4, seed=5)
+        generator = SyntheticTraceGenerator(gen_cfg)
+        system = CoherentCacheSystem(4, 256, 4)
+        estimator = WorkloadEstimator(system, generator.stream_of)
+        estimator.observe_trace(generator.trace(80_000))
+        workload = estimator.estimate().workload
+
+        mva = CacheMVAModel(workload).speedup(6)
+        sim = simulate(SimulationConfig(
+            n_processors=6, workload=workload, seed=77,
+            warmup_requests=3_000, measured_requests=30_000)).speedup
+        assert mva == pytest.approx(sim, rel=0.06)
+
+
+class TestCrossModelWorkflow:
+    def test_four_way_agreement_small_n(self):
+        from repro.analysis.crossmodel import cross_validate
+
+        cells = cross_validate(
+            appendix_a_workload(SharingLevel.FIVE_PERCENT),
+            sizes=(2, 3), sim_requests=25_000)
+        for cell in cells:
+            assert cell.spread < 0.06

@@ -1,0 +1,155 @@
+"""Tests for the modification algebra and named protocol family."""
+
+import pytest
+
+from repro.protocols.family import (
+    PROTOCOLS,
+    berkeley,
+    dragon,
+    illinois,
+    protocol_by_name,
+    rwb,
+    synapse,
+    write_once,
+)
+from repro.protocols.modifications import (
+    Modification,
+    ProtocolSpec,
+    all_combinations,
+    parse_mods,
+)
+from repro.workload.parameters import WorkloadParameters
+
+
+class TestModification:
+    def test_numbers_match_paper(self):
+        assert int(Modification.EXCLUSIVE_ON_MISS) == 1
+        assert int(Modification.CACHE_TO_CACHE_SUPPLY) == 2
+        assert int(Modification.INVALIDATE_INSTEAD_OF_WRITE_WORD) == 3
+        assert int(Modification.WRITE_BROADCAST) == 4
+
+    def test_short_names(self):
+        assert Modification.WRITE_BROADCAST.short_name == "mod4"
+
+
+class TestProtocolSpec:
+    def test_empty_is_write_once(self):
+        spec = ProtocolSpec()
+        assert len(spec) == 0
+        assert spec.label == "Write-Once"
+
+    def test_of_accepts_ints_and_enums(self):
+        a = ProtocolSpec.of(1, 4)
+        b = ProtocolSpec.of(Modification.EXCLUSIVE_ON_MISS,
+                            Modification.WRITE_BROADCAST)
+        assert a == b
+        assert a.label == "WO+1+4"
+
+    def test_membership_and_iteration(self):
+        spec = ProtocolSpec.of(2, 3)
+        assert 2 in spec and Modification(3) in spec and 1 not in spec
+        assert list(spec) == [Modification.CACHE_TO_CACHE_SUPPLY,
+                              Modification.INVALIDATE_INSTEAD_OF_WRITE_WORD]
+
+    def test_invalid_mod_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolSpec.of(5)
+
+    def test_hashable(self):
+        assert len({ProtocolSpec.of(1), ProtocolSpec.of(1), ProtocolSpec.of(2)}) == 2
+
+    def test_with_mods(self):
+        assert ProtocolSpec.of(1).with_mods(4) == ProtocolSpec.of(1, 4)
+
+    def test_mod4_alone_impractical(self):
+        """Section 2.2: modification 4 alone reduces to write-through."""
+        assert not ProtocolSpec.of(4).is_practical
+        assert ProtocolSpec.of(1, 4).is_practical
+        assert ProtocolSpec.of(1).is_practical
+        assert ProtocolSpec().is_practical
+
+    def test_all_combinations(self):
+        combos = all_combinations()
+        assert len(combos) == 16
+        assert len(set(combos)) == 16
+        assert combos[0] == ProtocolSpec()
+
+
+class TestWorkloadAdjustment:
+    """The Appendix-A per-protocol overrides."""
+
+    def test_mod1_raises_rep_p(self):
+        w = ProtocolSpec.of(1).adjust_workload(WorkloadParameters())
+        assert w.rep_p == 0.3
+
+    def test_mod2_or_mod3_raise_rep_sw(self):
+        for mods in [(2,), (3,)]:
+            w = ProtocolSpec.of(*mods).adjust_workload(WorkloadParameters())
+            assert w.rep_sw == 0.6, mods
+
+    def test_mods_2_and_3_raise_rep_sw_further(self):
+        w = ProtocolSpec.of(2, 3).adjust_workload(WorkloadParameters())
+        assert w.rep_sw == 0.7
+
+    def test_mods_1_and_4_raise_h_sw(self):
+        w = ProtocolSpec.of(1, 4).adjust_workload(WorkloadParameters())
+        assert w.h_sw == 0.95
+        # Modification 4 alone does not (needs mod 1 to be practical).
+        assert ProtocolSpec.of(4).adjust_workload(WorkloadParameters()).h_sw == 0.5
+
+    def test_write_once_unchanged(self):
+        w = WorkloadParameters()
+        assert ProtocolSpec().adjust_workload(w) is w
+
+    def test_explicit_values_not_overridden(self):
+        w = WorkloadParameters(rep_p=0.4)
+        assert ProtocolSpec.of(1).adjust_workload(w).rep_p == 0.4
+
+    def test_dragon_gets_all_adjustments(self):
+        w = dragon().adjust_workload(WorkloadParameters())
+        assert w.rep_p == 0.3
+        assert w.rep_sw == 0.7
+        assert w.h_sw == 0.95
+
+
+class TestFamily:
+    def test_modification_sets_match_paper_table(self):
+        assert write_once().mod_numbers == frozenset()
+        assert synapse().mod_numbers == {3}
+        assert illinois().mod_numbers == {1, 3}
+        assert berkeley().mod_numbers == {2, 3}
+        assert rwb().mod_numbers == {1, 3, 4}
+        assert dragon().mod_numbers == {1, 2, 3, 4}
+
+    def test_mod3_in_all_five_successors(self):
+        for spec in (synapse(), illinois(), berkeley(), rwb(), dragon()):
+            assert 3 in spec, spec.name
+
+    def test_registry_lookup(self):
+        assert protocol_by_name("Dragon") == dragon()
+        assert protocol_by_name("  berkeley ") == berkeley()
+        with pytest.raises(ValueError, match="unknown protocol"):
+            protocol_by_name("MESIF")
+
+    def test_registry_complete(self):
+        assert set(PROTOCOLS) == {
+            "write-once", "synapse", "illinois", "berkeley", "rwb", "dragon"}
+
+    def test_all_named_protocols_practical(self):
+        for spec in PROTOCOLS.values():
+            assert spec.is_practical, spec.name
+
+
+class TestParseMods:
+    def test_parse_empty_forms(self):
+        for text in ("", "wo", "Write-Once", "none"):
+            assert parse_mods(text) == ProtocolSpec()
+
+    def test_parse_lists(self):
+        assert parse_mods("1,4") == ProtocolSpec.of(1, 4)
+        assert parse_mods("1+4") == ProtocolSpec.of(1, 4)
+        assert parse_mods([2, 3]) == ProtocolSpec.of(2, 3)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_mods("fast")

@@ -1,0 +1,47 @@
+"""Tests for the 3-bit block state space."""
+
+import pytest
+
+from repro.protocols.states import BlockState, StateBits
+
+
+class TestBlockState:
+    def test_five_reachable_states(self):
+        assert len(BlockState) == 5
+
+    def test_invalid_bits(self):
+        s = BlockState.INVALID
+        assert not s.valid and not s.exclusive and not s.wback
+
+    def test_exclusive_states_writable_without_bus(self):
+        assert BlockState.EXCLUSIVE_CLEAN.writable_without_bus
+        assert BlockState.EXCLUSIVE_WBACK.writable_without_bus
+
+    def test_shared_states_need_bus_for_writes(self):
+        assert not BlockState.SHARED_CLEAN.writable_without_bus
+        assert not BlockState.SHARED_WBACK.writable_without_bus
+        assert not BlockState.INVALID.writable_without_bus
+
+    def test_wback_flag(self):
+        assert BlockState.SHARED_WBACK.wback
+        assert BlockState.EXCLUSIVE_WBACK.wback
+        assert not BlockState.SHARED_CLEAN.wback
+        assert not BlockState.EXCLUSIVE_CLEAN.wback
+
+    def test_from_bits_roundtrip(self):
+        for state in BlockState:
+            if not state.valid:
+                continue
+            bits = state.bits
+            assert BlockState.from_bits(bits.valid, bits.exclusive, bits.wback) is state
+
+    def test_from_bits_invalid_ignores_other_bits(self):
+        assert BlockState.from_bits(False, True, True) is BlockState.INVALID
+
+    def test_bits_dataclass_equality(self):
+        assert StateBits(True, False, False) == StateBits(True, False, False)
+        assert StateBits(True, False, False) != StateBits(True, True, False)
+
+    def test_states_distinct(self):
+        bit_patterns = {s.bits for s in BlockState}
+        assert len(bit_patterns) == 5

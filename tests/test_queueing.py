@@ -1,0 +1,239 @@
+"""Tests for the classical queueing substrate."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing import (
+    MD1,
+    MM1,
+    approximate_mva,
+    delay,
+    exact_mva,
+    mean_residual_life,
+    queueing,
+    residual_life_mixture,
+)
+from repro.queueing.centers import Center
+from repro.queueing.mva_exact import asymptotic_bounds
+from repro.queueing.residual import (
+    pollaczek_khinchine_wait,
+    residual_life_mixture_via_moments,
+)
+
+
+class TestExactMVA:
+    def test_single_center_single_job(self):
+        result = exact_mva([queueing("cpu", 2.0)], 1)
+        assert result.throughput == pytest.approx(0.5)
+        assert result.response_time == pytest.approx(2.0)
+        assert result.queue_lengths["cpu"] == pytest.approx(1.0)
+
+    def test_machine_repairman_textbook(self):
+        """Delay Z + one queue: the interactive-system model of [LZGS84]."""
+        centers = [delay("think", 10.0), queueing("server", 1.0)]
+        result = exact_mva(centers, 5)
+        # Balance check via Little's law: N = X * R.
+        assert result.throughput * result.response_time == pytest.approx(5.0)
+        # With Z=10, D=1, 5 jobs: well under saturation, X ~ N/(Z+D).
+        assert result.throughput < 1.0
+        assert result.utilizations["server"] == pytest.approx(
+            result.throughput * 1.0)
+
+    def test_queue_lengths_sum_to_population(self):
+        centers = [delay("think", 5.0), queueing("a", 1.0), queueing("b", 0.5)]
+        result = exact_mva(centers, 7)
+        assert sum(result.queue_lengths.values()) == pytest.approx(7.0)
+
+    def test_bottleneck_identification(self):
+        centers = [queueing("fast", 0.5), queueing("slow", 2.0)]
+        assert exact_mva(centers, 10).bottleneck() == "slow"
+
+    def test_throughput_saturates_at_bottleneck(self):
+        centers = [delay("think", 2.0), queueing("bus", 0.5)]
+        result = exact_mva(centers, 200)
+        assert result.throughput == pytest.approx(2.0, rel=1e-3)
+        assert result.utilizations["bus"] == pytest.approx(1.0, rel=1e-3)
+
+    def test_zero_population(self):
+        result = exact_mva([queueing("cpu", 1.0)], 0)
+        assert result.throughput == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            exact_mva([], 3)
+        with pytest.raises(ValueError, match="duplicate"):
+            exact_mva([queueing("x", 1.0), queueing("x", 2.0)], 3)
+        with pytest.raises(ValueError, match="population"):
+            exact_mva([queueing("x", 1.0)], -1)
+        with pytest.raises(ValueError, match="demand"):
+            Center(name="x", demand=-1.0)
+
+    @given(st.integers(min_value=1, max_value=40),
+           st.floats(min_value=0.01, max_value=10.0),
+           st.floats(min_value=0.01, max_value=10.0))
+    @settings(max_examples=60)
+    def test_littles_law_always_holds(self, n, z, d):
+        result = exact_mva([delay("think", z), queueing("q", d)], n)
+        assert result.throughput * result.response_time == pytest.approx(n)
+
+    @given(st.integers(min_value=1, max_value=40),
+           st.floats(min_value=0.01, max_value=10.0),
+           st.floats(min_value=0.01, max_value=10.0))
+    @settings(max_examples=60)
+    def test_within_asymptotic_bounds(self, n, z, d):
+        centers = [delay("think", z), queueing("q", d)]
+        result = exact_mva(centers, n)
+        lower, upper = asymptotic_bounds(centers, n)
+        assert lower - 1e-9 <= result.throughput <= upper + 1e-9
+
+
+class TestApproximateMVA:
+    @given(st.integers(min_value=1, max_value=50),
+           st.floats(min_value=0.1, max_value=20.0),
+           st.floats(min_value=0.05, max_value=5.0),
+           st.floats(min_value=0.05, max_value=5.0))
+    @settings(max_examples=60)
+    def test_close_to_exact(self, n, z, d1, d2):
+        """Schweitzer is accurate to ~10 % for single-class networks
+        (worst near saturation at small N)."""
+        centers = [delay("think", z), queueing("a", d1), queueing("b", d2)]
+        exact = exact_mva(centers, n)
+        approx = approximate_mva(centers, n)
+        assert approx.throughput == pytest.approx(exact.throughput, rel=0.12)
+
+    def test_zero_population(self):
+        result = approximate_mva([queueing("cpu", 1.0)], 0)
+        assert result.throughput == 0.0
+
+    def test_littles_law(self):
+        centers = [delay("think", 4.0), queueing("q", 1.0)]
+        result = approximate_mva(centers, 12)
+        assert result.throughput * result.response_time == pytest.approx(12.0)
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            approximate_mva([queueing("q", 1.0)], 2, tolerance=0.0)
+
+
+class TestResidualLife:
+    def test_deterministic_is_half_mean(self):
+        assert mean_residual_life(8.0, cv2=0.0) == pytest.approx(4.0)
+
+    def test_exponential_is_mean(self):
+        assert mean_residual_life(3.0, cv2=1.0) == pytest.approx(3.0)
+
+    def test_via_second_moment(self):
+        # Deterministic t=6: m2 = 36, residual = 3.
+        assert mean_residual_life(6.0, second_moment=36.0) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            mean_residual_life(1.0)
+        with pytest.raises(ValueError, match="exactly one"):
+            mean_residual_life(1.0, second_moment=1.0, cv2=0.0)
+        with pytest.raises(ValueError, match="impossible"):
+            mean_residual_life(2.0, second_moment=1.0)
+
+    def test_equation_10_form(self):
+        """The paper's equation (10) with its own notation:
+        classes (T_write + w_mem) and t_read weighted by p_bc, p_rr."""
+        p_bc, p_rr = 0.08, 0.06
+        t_write_plus_wmem, t_read = 1.3, 9.0
+        value = residual_life_mixture([p_bc, p_rr],
+                                      [t_write_plus_wmem, t_read])
+        a = p_bc * t_write_plus_wmem
+        b = p_rr * t_read
+        expected = (a / (a + b)) * t_write_plus_wmem / 2 + (b / (a + b)) * t_read / 2
+        assert value == pytest.approx(expected)
+
+    @given(st.lists(st.tuples(st.floats(min_value=1e-6, max_value=1.0),
+                              st.floats(min_value=0.0, max_value=50.0)),
+                    min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_mixture_equals_renewal_formula(self, pairs):
+        """Equation (10) is exactly m2/(2m) of the mixture distribution."""
+        weights = [w for w, _ in pairs]
+        times = [t for _, t in pairs]
+        a = residual_life_mixture(weights, times)
+        b = residual_life_mixture_via_moments(weights, times)
+        assert a == pytest.approx(b, abs=1e-9)
+
+    def test_mixture_degenerate(self):
+        assert residual_life_mixture([0.0], [5.0]) == 0.0
+        with pytest.raises(ValueError):
+            residual_life_mixture([0.5], [1.0, 2.0])
+
+
+class TestMM1MD1:
+    def test_mm1_textbook_values(self):
+        q = MM1(arrival_rate=0.5, service_rate=1.0)
+        assert q.utilization == 0.5
+        assert q.mean_queue_length == pytest.approx(1.0)
+        assert q.mean_response_time == pytest.approx(2.0)
+        assert q.mean_waiting_time == pytest.approx(1.0)
+
+    def test_mm1_unstable(self):
+        q = MM1(arrival_rate=2.0, service_rate=1.0)
+        assert not q.stable
+        assert math.isinf(q.mean_response_time)
+
+    def test_md1_half_the_mm1_wait(self):
+        """Deterministic service halves the waiting time at equal rho."""
+        mm1 = MM1(arrival_rate=0.8, service_rate=1.0)
+        md1 = MD1(arrival_rate=0.8, service_time=1.0)
+        assert md1.mean_waiting_time == pytest.approx(mm1.mean_waiting_time / 2)
+
+    def test_md1_littles_law(self):
+        q = MD1(arrival_rate=0.4, service_time=1.5)
+        assert q.mean_queue_length == pytest.approx(
+            q.arrival_rate * q.mean_response_time)
+
+    def test_pollaczek_khinchine_matches_md1(self):
+        q = MD1(arrival_rate=0.6, service_time=1.0)
+        assert pollaczek_khinchine_wait(0.6, 1.0, cv2=0.0) == pytest.approx(
+            q.mean_waiting_time)
+
+    def test_pollaczek_khinchine_unstable(self):
+        assert math.isinf(pollaczek_khinchine_wait(2.0, 1.0, cv2=0.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MM1(arrival_rate=-1.0, service_rate=1.0)
+        with pytest.raises(ValueError):
+            MM1(arrival_rate=1.0, service_rate=0.0)
+        with pytest.raises(ValueError):
+            MD1(arrival_rate=-0.1, service_time=1.0)
+
+
+class TestCrossValidationWithCustomModel:
+    """With cache and memory interference switched off, the paper's
+    system is a delay center (tau + 1) plus one FCFS bus queue, so the
+    custom model must approximately agree with Schweitzer MVA."""
+
+    def test_custom_model_close_to_schweitzer(self, workload_5pct):
+        from repro.core.model import CacheMVAModel
+        from repro.workload.parameters import ArchitectureParams
+
+        # Disable memory contention (huge module count) and cache
+        # interference (no shared blocks are ever held elsewhere).
+        w = workload_5pct.replace(csupply_sro=0.0, csupply_sw=0.0,
+                                  wb_csupply=0.0)
+        arch = ArchitectureParams(memory_modules=10_000)
+        model = CacheMVAModel(w, arch=arch)
+        inp = model.inputs
+
+        n = 8
+        report = model.solve(n)
+
+        # Equivalent closed network: think = tau + T_supply, bus demand =
+        # expected bus time per reference.
+        bus_demand = inp.p_bc * inp.t_bc + inp.p_rr * inp.t_read
+        centers = [delay("think", w.tau + 1.0), queueing("bus", bus_demand)]
+        mva = approximate_mva(centers, n)
+
+        custom_throughput = n / report.cycle_time
+        assert custom_throughput == pytest.approx(mva.throughput, rel=0.05)
+        assert report.u_bus == pytest.approx(mva.utilizations["bus"], rel=0.06)

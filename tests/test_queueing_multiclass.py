@@ -1,0 +1,168 @@
+"""Tests for multi-class MVA (exact and Schweitzer)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing import (
+    CustomerClass,
+    approximate_mva_multiclass,
+    delay,
+    exact_mva,
+    exact_mva_multiclass,
+    queueing,
+)
+
+
+class TestValidation:
+    def test_needs_centers_and_classes(self):
+        with pytest.raises(ValueError):
+            exact_mva_multiclass([], [CustomerClass("a", 1)])
+        with pytest.raises(ValueError):
+            exact_mva_multiclass([queueing("q", 1.0)], [])
+
+    def test_unknown_center_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            exact_mva_multiclass(
+                [queueing("q", 1.0)],
+                [CustomerClass("a", 1, {"nope": 1.0})])
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError, match="negative demand"):
+            CustomerClass("a", 1, {"q": -1.0})
+
+    def test_duplicate_class_names(self):
+        with pytest.raises(ValueError, match="duplicate class"):
+            exact_mva_multiclass(
+                [queueing("q", 1.0)],
+                [CustomerClass("a", 1, {"q": 1.0}),
+                 CustomerClass("a", 1, {"q": 1.0})])
+
+
+class TestSingleClassEquivalence:
+    @given(st.integers(min_value=1, max_value=15),
+           st.floats(min_value=0.1, max_value=10.0),
+           st.floats(min_value=0.05, max_value=5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_reduces_to_single_class_mva(self, n, z, d):
+        centers = [delay("think", z), queueing("bus", d)]
+        single = exact_mva(centers, n)
+        multi = exact_mva_multiclass(
+            centers, [CustomerClass("only", n, {"think": z, "bus": d})])
+        assert multi.throughput("only") == pytest.approx(single.throughput,
+                                                         rel=1e-9)
+        assert multi.queue_lengths["bus"] == pytest.approx(
+            single.queue_lengths["bus"], rel=1e-9)
+
+
+class TestTwoClasses:
+    def _system(self):
+        centers = [delay("think", 0.0), queueing("cpu", 1.0),
+                   queueing("disk", 1.0)]
+        classes = [
+            CustomerClass("cpu-bound", 2, {"think": 5.0, "cpu": 2.0,
+                                           "disk": 0.2}),
+            CustomerClass("io-bound", 2, {"think": 5.0, "cpu": 0.2,
+                                          "disk": 2.0}),
+        ]
+        return centers, classes
+
+    def test_symmetric_classes_symmetric_result(self):
+        centers, classes = self._system()
+        result = exact_mva_multiclass(centers, classes)
+        # The system is symmetric under swapping (cpu-bound, cpu) with
+        # (io-bound, disk).
+        assert result.throughput("cpu-bound") == pytest.approx(
+            result.throughput("io-bound"), rel=1e-9)
+        assert result.utilizations["cpu"] == pytest.approx(
+            result.utilizations["disk"], rel=1e-9)
+
+    def test_littles_law_per_class(self):
+        centers, classes = self._system()
+        result = exact_mva_multiclass(centers, classes)
+        for cls in classes:
+            assert (result.throughput(cls.name)
+                    * result.response_times[cls.name]) == pytest.approx(
+                        cls.population)
+
+    def test_empty_class_ignored(self):
+        centers = [delay("think", 2.0), queueing("q", 1.0)]
+        result = exact_mva_multiclass(centers, [
+            CustomerClass("real", 3, {"think": 2.0, "q": 1.0}),
+            CustomerClass("ghost", 0, {"think": 2.0, "q": 5.0}),
+        ])
+        single = exact_mva(centers, 3)
+        assert result.throughput("real") == pytest.approx(single.throughput,
+                                                          rel=1e-9)
+        assert result.throughput("ghost") == 0.0
+
+    def test_interference_between_classes(self):
+        """Adding a second class at the same center slows the first."""
+        centers = [delay("think", 4.0), queueing("bus", 1.0)]
+        alone = exact_mva_multiclass(centers, [
+            CustomerClass("a", 3, {"think": 4.0, "bus": 1.0})])
+        crowded = exact_mva_multiclass(centers, [
+            CustomerClass("a", 3, {"think": 4.0, "bus": 1.0}),
+            CustomerClass("b", 3, {"think": 4.0, "bus": 1.0}),
+        ])
+        assert crowded.throughput("a") < alone.throughput("a")
+
+
+class TestApproximation:
+    @given(st.integers(min_value=1, max_value=10),
+           st.integers(min_value=1, max_value=10),
+           st.floats(min_value=0.5, max_value=10.0),
+           st.floats(min_value=0.05, max_value=2.0),
+           st.floats(min_value=0.05, max_value=2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_close_to_exact(self, n1, n2, z, d1, d2):
+        centers = [delay("think", z), queueing("bus", 1.0)]
+        classes = [
+            CustomerClass("a", n1, {"think": z, "bus": d1}),
+            CustomerClass("b", n2, {"think": z, "bus": d2}),
+        ]
+        exact = exact_mva_multiclass(centers, classes)
+        approx = approximate_mva_multiclass(centers, classes)
+        for name in ("a", "b"):
+            assert approx.throughput(name) == pytest.approx(
+                exact.throughput(name), rel=0.15)
+
+    def test_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            approximate_mva_multiclass(
+                [queueing("q", 1.0)],
+                [CustomerClass("a", 1, {"q": 1.0})], tolerance=0.0)
+
+
+class TestHeterogeneousProcessorsScenario:
+    """The substrate's purpose: a coherence bus shared by two processor
+    populations with different memory intensity."""
+
+    def test_memory_hungry_class_dominates_bus(self):
+        from repro.workload.derived import derive_inputs
+        from repro.workload.parameters import (
+            SharingLevel,
+            appendix_a_workload,
+        )
+        hungry_inputs = derive_inputs(
+            appendix_a_workload(SharingLevel.TWENTY_PERCENT))
+        light_inputs = derive_inputs(
+            appendix_a_workload(SharingLevel.ONE_PERCENT))
+
+        def bus_demand(inputs):
+            return inputs.p_bc * inputs.t_bc + inputs.p_rr * inputs.t_read
+
+        centers = [delay("think", 3.5), queueing("bus", 1.0)]
+        classes = [
+            CustomerClass("hungry", 4, {"think": 3.5,
+                                        "bus": bus_demand(hungry_inputs)}),
+            CustomerClass("light", 4, {"think": 3.5,
+                                       "bus": bus_demand(light_inputs)}),
+        ]
+        result = exact_mva_multiclass(centers, classes)
+        hungry_util = (result.throughput("hungry")
+                       * bus_demand(hungry_inputs))
+        light_util = result.throughput("light") * bus_demand(light_inputs)
+        assert hungry_util > light_util
+        # And the light class still completes more requests per cycle.
+        assert result.throughput("light") > result.throughput("hungry")

@@ -1,0 +1,101 @@
+"""Tests for the operational laws and the cross-model audits."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.operational import (
+    audit_mva_report,
+    bottleneck_throughput_bound,
+    check_consistency,
+    forced_flow_law,
+    littles_law_n,
+    response_time_law,
+    utilization_law,
+)
+
+
+class TestLaws:
+    def test_littles_law(self):
+        assert littles_law_n(0.5, 8.0) == 4.0
+
+    def test_utilization_law(self):
+        assert utilization_law(0.5, 1.2) == pytest.approx(0.6)
+
+    def test_forced_flow(self):
+        assert forced_flow_law(2.0, 3.0) == 6.0
+
+    def test_response_time_law(self):
+        assert response_time_law(10, 0.5, think_time=5.0) == pytest.approx(15.0)
+        assert math.isinf(response_time_law(10, 0.0, 5.0))
+
+    def test_bottleneck_bound(self):
+        assert bottleneck_throughput_bound(0.25) == 4.0
+        assert math.isinf(bottleneck_throughput_bound(0.0))
+
+
+class TestConsistency:
+    def test_consistent_measurements(self):
+        # X=0.5, R=8 -> N=4; U = 0.5 * 1.2 = 0.6.
+        report = check_consistency(population=4, throughput=0.5,
+                                   response_time=8.0, utilization=0.6,
+                                   service_demand=1.2)
+        assert report.consistent
+        assert report.littles_law_residual < 1e-12
+
+    def test_inconsistent_flagged(self):
+        report = check_consistency(population=4, throughput=0.5,
+                                   response_time=9.0, utilization=0.6,
+                                   service_demand=1.2)
+        assert not report.consistent
+        assert report.littles_law_residual > 0.05
+
+    def test_saturation_skips_utilization_check(self):
+        report = check_consistency(population=100, throughput=1.0,
+                                   response_time=100.0, utilization=1.0,
+                                   service_demand=5.0)
+        assert report.utilization_residual == 0.0
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            check_consistency(1, 1.0, 1.0, 0.5, 0.5, tolerance=0.0)
+
+
+class TestAuditMVA:
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_mva_reports_pass_the_audit(self, n):
+        """The MVA's own outputs must satisfy the operational laws."""
+        from repro.core.model import CacheMVAModel
+        from repro.workload.parameters import SharingLevel, appendix_a_workload
+        model = CacheMVAModel(appendix_a_workload(SharingLevel.FIVE_PERCENT))
+        report = model.solve(n)
+        inp = model.inputs
+        bus_demand = (inp.p_bc * (report.w_mem + inp.t_bc)
+                      + inp.p_rr * inp.t_read)
+        audit = audit_mva_report(report, bus_demand, tolerance=1e-6)
+        assert audit.consistent, (n, audit)
+
+    def test_simulator_passes_the_audit(self, workload_5pct):
+        """The simulator's measured utilization obeys U = X * D with the
+        *measured* mean occupancy per transaction."""
+        from repro.sim.config import SimulationConfig
+        from repro.sim.system import simulate
+        result = simulate(SimulationConfig(
+            n_processors=6, workload=workload_5pct, seed=8,
+            warmup_requests=3_000, measured_requests=40_000))
+        bus_throughput = result.bus_transactions / result.elapsed_cycles
+        mean_occupancy = (result.u_bus * result.elapsed_cycles
+                          / result.bus_transactions)
+        audit = check_consistency(
+            population=6,
+            throughput=6 / result.mean_cycle_time,
+            response_time=result.mean_cycle_time,
+            utilization=result.u_bus,
+            service_demand=mean_occupancy * bus_throughput
+            / (6 / result.mean_cycle_time),
+            tolerance=0.02,
+        )
+        assert audit.utilization_residual < 0.02

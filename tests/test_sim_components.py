@@ -1,0 +1,196 @@
+"""Tests for bus, memory, cache and processor components in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.bus import Bus, BusRequest
+from repro.sim.cache import CacheController
+from repro.sim.engine import Simulation
+from repro.sim.memory import MemoryBank
+from repro.sim.processor import Processor, ProcessorState
+from repro.workload.streams import ReferenceOutcome, RequestKind
+
+
+def _bus_request(cache_id=0, enqueue=0.0, on_complete=lambda s, r: None):
+    return BusRequest(cache_id=cache_id,
+                      outcome=ReferenceOutcome(kind=RequestKind.REMOTE_READ),
+                      enqueue_time=enqueue,
+                      on_complete=on_complete)
+
+
+class TestBus:
+    def _run_fcfs(self, durations):
+        """Submit requests back-to-back; return their grant times."""
+        sim = Simulation()
+        bus = Bus()
+        grants = []
+        remaining = list(durations)
+
+        def grant(s, req):
+            grants.append(s.now)
+            d = remaining.pop(0)
+            s.schedule(d, lambda s2: bus.complete(s2, grant),
+                       Simulation.PRIORITY_BUS)
+
+        for i in range(len(durations)):
+            bus.submit(sim, _bus_request(cache_id=i), grant)
+        sim.run()
+        return sim, bus, grants
+
+    def test_fcfs_grant_times(self):
+        sim, bus, grants = self._run_fcfs([4.0, 2.0, 3.0])
+        assert grants == [0.0, 4.0, 6.0]
+        assert bus.transactions == 3
+        assert not bus.busy
+
+    def test_utilization_fully_busy(self):
+        sim, bus, _ = self._run_fcfs([4.0, 2.0, 3.0])
+        assert bus.utilization(sim.now) == pytest.approx(1.0)
+
+    def test_wait_statistics(self):
+        _, bus, _ = self._run_fcfs([4.0, 2.0])
+        # Waits: 0 and 4.
+        assert bus.wait_stats.mean == pytest.approx(2.0)
+
+    def test_seen_queue_counts_in_service(self):
+        _, bus, _ = self._run_fcfs([4.0, 2.0, 3.0])
+        # Arrivals see 0, 1 (in service), 2 (one in service + one queued).
+        assert bus.seen_queue_stats.mean == pytest.approx(1.0)
+
+    def test_on_complete_called_with_request(self):
+        sim = Simulation()
+        bus = Bus()
+        done = []
+        req = BusRequest(cache_id=0,
+                         outcome=ReferenceOutcome(kind=RequestKind.BROADCAST),
+                         enqueue_time=0.0,
+                         on_complete=lambda s, r: done.append((s.now, r)))
+
+        def grant(s, r):
+            r.duration = 2.5
+            s.schedule(2.5, lambda s2: bus.complete(s2, grant))
+
+        bus.submit(sim, req, grant)
+        sim.run()
+        assert done and done[0][0] == 2.5 and done[0][1] is req
+        assert req.wait == 0.0
+
+    def test_reset_statistics(self):
+        sim, bus, _ = self._run_fcfs([4.0])
+        bus.reset_statistics(sim.now)
+        assert bus.transactions == 0
+        assert bus.utilization(sim.now + 10.0) == 0.0
+
+
+class TestMemoryBank:
+    def test_no_contention_no_wait(self):
+        bank = MemoryBank(4, 3.0, np.random.default_rng(0))
+        assert bank.write(0.0, module=2) == 0.0
+        assert bank.busy_until(2) == 3.0
+
+    def test_back_to_back_wait(self):
+        bank = MemoryBank(4, 3.0, np.random.default_rng(0))
+        bank.write(0.0, module=1)
+        assert bank.write(1.0, module=1) == pytest.approx(2.0)
+        assert bank.busy_until(1) == pytest.approx(6.0)
+
+    def test_other_module_independent(self):
+        bank = MemoryBank(4, 3.0, np.random.default_rng(0))
+        bank.write(0.0, module=1)
+        assert bank.write(1.0, module=2) == 0.0
+
+    def test_utilization(self):
+        bank = MemoryBank(2, 3.0, np.random.default_rng(0))
+        bank.write(0.0, module=0)  # busy [0, 3)
+        # One of two modules busy 3 of 6 cycles -> mean module util 0.25.
+        assert bank.utilization(6.0) == pytest.approx(0.25)
+
+    def test_pick_module_uniform(self):
+        bank = MemoryBank(4, 3.0, np.random.default_rng(42))
+        picks = [bank.pick_module() for _ in range(4000)]
+        for m in range(4):
+            assert picks.count(m) / 4000 == pytest.approx(0.25, abs=0.03)
+
+    def test_operation_count_and_reset(self):
+        bank = MemoryBank(4, 3.0, np.random.default_rng(0))
+        bank.write(0.0)
+        bank.write(1.0)
+        assert bank.operations == 2
+        bank.reset_statistics(5.0)
+        assert bank.operations == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryBank(0, 3.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            MemoryBank(4, -1.0, np.random.default_rng(0))
+
+
+class TestCacheController:
+    def test_free_cache_serves_immediately(self):
+        cache = CacheController(0)
+        completion = cache.try_start_local(5.0)
+        assert completion == 6.0
+        assert cache.busy_until == 6.0
+
+    def test_snoop_work_blocks_local(self):
+        cache = CacheController(0)
+        cache.add_snoop_work(0.0, 4.0)
+        assert cache.try_start_local(2.0) is None
+        assert cache.try_start_local(4.0) == 5.0
+
+    def test_snoop_work_serializes(self):
+        cache = CacheController(0)
+        cache.add_snoop_work(0.0, 2.0)
+        cache.add_snoop_work(1.0, 2.0)  # queued behind the first
+        assert cache.busy_until == 4.0
+        cache.add_snoop_work(10.0, 1.0)  # idle gap: starts at 10
+        assert cache.busy_until == 11.0
+
+    def test_snoop_after_local_start_queues_behind(self):
+        cache = CacheController(0)
+        cache.try_start_local(0.0)  # busy [0, 1)
+        cache.add_snoop_work(0.5, 2.0)
+        assert cache.busy_until == 3.0
+
+    def test_pending_tokens(self):
+        cache = CacheController(0)
+        t1 = cache.begin_local_wait(0.0)
+        t2 = cache.begin_local_wait(1.0)
+        assert not cache.pending_token_valid(t1)
+        assert cache.pending_token_valid(t2)
+
+    def test_interference_wait_recorded(self):
+        cache = CacheController(0)
+        cache.begin_local_wait(2.0)
+        cache.finish_local_wait(5.0)
+        assert cache.interference_stats.mean == pytest.approx(3.0)
+
+    def test_negative_snoop_duration_rejected(self):
+        with pytest.raises(ValueError):
+            CacheController(0).add_snoop_work(0.0, -1.0)
+
+    def test_custom_supply_time(self):
+        cache = CacheController(0, supply_time=2.0)
+        assert cache.try_start_local(0.0) == 2.0
+
+
+class TestProcessor:
+    def test_cycle_accounting(self):
+        proc = Processor(0)
+        proc.begin_cycle(0.0, burst=2.5)
+        proc.begin_wait()
+        assert proc.state is ProcessorState.WAITING
+        cycle = proc.complete_cycle(7.0)
+        assert cycle == 7.0
+        assert proc.cycle_stats.mean == 7.0
+        assert proc.requests_completed == 1
+        assert proc.busy_cycles == 2.5
+
+    def test_reset(self):
+        proc = Processor(0)
+        proc.begin_cycle(0.0, 1.0)
+        proc.complete_cycle(2.0)
+        proc.reset_statistics()
+        assert proc.requests_completed == 0
+        assert proc.busy_cycles == 0.0

@@ -1,0 +1,101 @@
+"""Testing the paper's Section 2.1 scheduling claim.
+
+"Bus requests are served in random order in the GTPN model [VeHo86],
+but are assumed to be scheduled in first-come first-served order in the
+mean-value model developed in this paper.  Both scheduling disciplines
+have the same mean waiting time, and thus yield the same predicted
+speedup measures."
+
+Mean waiting time is insensitive to any non-preemptive,
+service-time-blind queue discipline (a classical M/G/1 result that
+carries over here); the waiting-time *variance* is not -- random order
+is more variable than FCFS.  Both facts are checked against the
+simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.bus import Bus, BusDiscipline, BusRequest
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulation
+from repro.sim.system import simulate
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+from repro.workload.streams import ReferenceOutcome, RequestKind
+
+
+def _run(discipline: BusDiscipline, seed: int, n: int = 8,
+         requests: int = 60_000):
+    return simulate(SimulationConfig(
+        n_processors=n,
+        workload=appendix_a_workload(SharingLevel.FIVE_PERCENT),
+        seed=seed,
+        warmup_requests=4_000,
+        measured_requests=requests,
+        bus_discipline=discipline,
+    ))
+
+
+class TestBusDisciplineUnit:
+    def test_random_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            Bus(discipline=BusDiscipline.RANDOM)
+
+    def test_random_order_can_reorder(self):
+        """With many queued requests, random service must (eventually)
+        grant somebody out of arrival order."""
+        sim = Simulation()
+        bus = Bus(discipline=BusDiscipline.RANDOM,
+                  rng=np.random.default_rng(3))
+        grant_order = []
+
+        def grant(s, req):
+            grant_order.append(req.cache_id)
+            s.schedule(1.0, lambda s2: bus.complete(s2, grant))
+
+        for i in range(12):
+            bus.submit(sim, BusRequest(
+                cache_id=i,
+                outcome=ReferenceOutcome(kind=RequestKind.REMOTE_READ),
+                enqueue_time=0.0,
+                on_complete=lambda s, r: None), grant)
+        sim.run()
+        assert sorted(grant_order) == list(range(12))
+        assert grant_order != list(range(12))
+
+    def test_fcfs_never_reorders(self):
+        sim = Simulation()
+        bus = Bus()
+        grant_order = []
+
+        def grant(s, req):
+            grant_order.append(req.cache_id)
+            s.schedule(1.0, lambda s2: bus.complete(s2, grant))
+
+        for i in range(6):
+            bus.submit(sim, BusRequest(
+                cache_id=i,
+                outcome=ReferenceOutcome(kind=RequestKind.BROADCAST),
+                enqueue_time=0.0,
+                on_complete=lambda s, r: None), grant)
+        sim.run()
+        assert grant_order == list(range(6))
+
+
+@pytest.mark.slow
+class TestDisciplineEquivalence:
+    """The full-system version of the Section 2.1 claim."""
+
+    def test_same_mean_wait_and_speedup(self):
+        fcfs = [_run(BusDiscipline.FCFS, seed=s) for s in (11, 12)]
+        rand = [_run(BusDiscipline.RANDOM, seed=s) for s in (11, 12)]
+        mean = lambda rs, attr: sum(getattr(r, attr) for r in rs) / len(rs)  # noqa: E731
+        w_f, w_r = mean(fcfs, "w_bus"), mean(rand, "w_bus")
+        s_f, s_r = mean(fcfs, "speedup"), mean(rand, "speedup")
+        assert w_r == pytest.approx(w_f, rel=0.06)
+        assert s_r == pytest.approx(s_f, rel=0.03)
+
+    def test_random_order_more_variable(self):
+        fcfs = _run(BusDiscipline.FCFS, seed=21)
+        rand = _run(BusDiscipline.RANDOM, seed=21)
+        assert rand.w_bus_stddev > fcfs.w_bus_stddev

@@ -1,0 +1,117 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import EventQueue, Simulation, cancel
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda s: order.append("b"))
+        q.push(1.0, lambda s: order.append("a"))
+        q.push(3.0, lambda s: order.append("c"))
+        while (e := q.pop()) is not None:
+            e.callback(None)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_priority_then_insertion(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda s: order.append("late"), priority=2)
+        q.push(1.0, lambda s: order.append("early"), priority=0)
+        q.push(1.0, lambda s: order.append("late2"), priority=2)
+        while (e := q.pop()) is not None:
+            e.callback(None)
+        assert order == ["early", "late", "late2"]
+
+    def test_cancellation(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda s: None)
+        q.push(2.0, lambda s: None)
+        cancel(e1)
+        assert len(q) == 1
+        popped = q.pop()
+        assert popped is not None and popped.time == 2.0
+
+    def test_rejects_nonfinite_time(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(float("inf"), lambda s: None)
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        e = q.push(1.0, lambda s: None)
+        assert q
+        cancel(e)
+        assert not q
+
+
+class TestSimulation:
+    def test_clock_advances_monotonically(self):
+        sim = Simulation()
+        times = []
+        sim.schedule(5.0, lambda s: times.append(s.now))
+        sim.schedule(1.0, lambda s: times.append(s.now))
+        sim.run()
+        assert times == [1.0, 5.0]
+        assert sim.now == 5.0
+
+    def test_callbacks_can_schedule_more(self):
+        sim = Simulation()
+        seen = []
+
+        def chain(s, depth=0):
+            seen.append(s.now)
+            if depth < 3:
+                s.schedule(1.0, lambda s2: chain(s2, depth + 1))
+
+        sim.schedule(0.0, chain)
+        sim.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_run_until(self):
+        sim = Simulation()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda s: seen.append(s.now))
+        sim.run(until=2.5)
+        assert seen == [1.0, 2.0]
+        assert sim.now == 2.5
+        sim.run()  # rest of the queue still there
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_stop_from_callback(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(1.0, lambda s: (seen.append(1), s.stop()))
+        sim.schedule(2.0, lambda s: seen.append(2))
+        sim.run()
+        assert seen == [1]
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_max_events(self):
+        sim = Simulation()
+        for t in range(5):
+            sim.schedule(float(t), lambda s: None)
+        assert sim.run(max_events=3) == 3
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda s: None)
+        sim.schedule(1.0, lambda s: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda s: None)
+
+    def test_schedule_at_clamps_to_now(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, lambda s: s.schedule_at(
+            1.0, lambda s2: fired.append(s2.now)))
+        sim.run()
+        assert fired == [1.0]

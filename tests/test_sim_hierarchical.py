@@ -1,0 +1,107 @@
+"""Tests for the hierarchical discrete-event simulator."""
+
+import pytest
+
+from repro.core.model import CacheMVAModel
+from repro.hierarchy import HierarchicalMVAModel, HierarchyParams
+from repro.sim.hierarchical import (
+    HierarchicalBusSimulator,
+    HierarchicalSimConfig,
+    simulate_hierarchy,
+)
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+
+def _config(clusters, per_cluster, seed=9, measured=20_000, **hier_kwargs):
+    return HierarchicalSimConfig(
+        hierarchy=HierarchyParams(clusters=clusters, per_cluster=per_cluster,
+                                  **hier_kwargs),
+        workload=appendix_a_workload(SharingLevel.FIVE_PERCENT),
+        seed=seed,
+        warmup_requests=2_000,
+        measured_requests=measured,
+    )
+
+
+class TestTopology:
+    def test_cluster_mapping(self):
+        sim = HierarchicalBusSimulator(_config(3, 4))
+        assert sim.cluster_of(0) == 0
+        assert sim.cluster_of(3) == 0
+        assert sim.cluster_of(4) == 1
+        assert sim.cluster_of(11) == 2
+        assert sim.cluster_peers(5) == [4, 6, 7]
+
+    def test_bus_counts(self):
+        sim = HierarchicalBusSimulator(_config(4, 2))
+        assert len(sim.local_buses) == 4
+        assert len(sim.caches) == 8
+
+    def test_escape_probabilities_match_mva(self):
+        config = _config(4, 4, cluster_locality=0.6, cluster_cache_hit=0.5)
+        sim = HierarchicalBusSimulator(config)
+        mva = HierarchicalMVAModel(config.workload, config.hierarchy)
+        assert sim.p_read_escape == pytest.approx(mva.p_read_escape)
+        assert sim.p_bc_escape == pytest.approx(mva.p_bc_escape)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HierarchicalSimConfig(
+                hierarchy=HierarchyParams(clusters=2, per_cluster=2),
+                workload=appendix_a_workload(SharingLevel.FIVE_PERCENT),
+                measured_requests=0)
+
+
+class TestRuns:
+    def test_reproducible(self):
+        a = simulate_hierarchy(_config(2, 3, seed=4, measured=5_000))
+        b = simulate_hierarchy(_config(2, 3, seed=4, measured=5_000))
+        assert a.speedup == b.speedup
+
+    def test_flat_cluster_never_uses_global_bus(self):
+        result = simulate_hierarchy(_config(1, 6, measured=10_000))
+        assert result.u_global_bus == 0.0
+        assert result.w_global_bus == 0.0
+
+    def test_flat_cluster_matches_flat_simulator(self):
+        """C = 1 must look like the flat system (same MVA target)."""
+        result = simulate_hierarchy(_config(1, 6, measured=40_000))
+        flat_mva = CacheMVAModel(
+            appendix_a_workload(SharingLevel.FIVE_PERCENT)).speedup(6)
+        assert result.speedup == pytest.approx(flat_mva, rel=0.05)
+
+    def test_summary(self):
+        result = simulate_hierarchy(_config(2, 2, measured=3_000))
+        assert "hier C=2" in result.summary()
+
+    def test_hierarchy_beats_flat_bus_in_simulation(self):
+        hier = simulate_hierarchy(_config(
+            4, 8, measured=25_000, cluster_locality=0.9,
+            cluster_cache_hit=0.8))
+        flat_limit = CacheMVAModel(
+            appendix_a_workload(SharingLevel.FIVE_PERCENT)).speedup(128)
+        assert hier.speedup > 1.5 * flat_limit
+
+
+@pytest.mark.slow
+class TestAgainstHierarchicalMVA:
+    """The extension's own Section-4.2-style validation."""
+
+    @pytest.mark.parametrize("clusters,per_cluster", [(2, 4), (4, 8)])
+    def test_speedup_agreement(self, clusters, per_cluster):
+        """Within ~8 %: looser than the flat model's band because the
+        saturated-global-bus cells carry ~5 % simulation CI themselves."""
+        config = _config(clusters, per_cluster, measured=60_000,
+                         cluster_locality=0.9, cluster_cache_hit=0.8)
+        sim = simulate_hierarchy(config)
+        mva = HierarchicalMVAModel(config.workload, config.hierarchy).solve()
+        rel_err = abs(mva.speedup - sim.speedup) / sim.speedup
+        assert rel_err < 0.08, (clusters, per_cluster, mva.speedup,
+                                sim.speedup)
+
+    def test_global_utilization_agreement(self):
+        config = _config(4, 8, measured=40_000, cluster_locality=0.9,
+                         cluster_cache_hit=0.8)
+        sim = simulate_hierarchy(config)
+        mva = HierarchicalMVAModel(config.workload, config.hierarchy).solve()
+        assert mva.u_global_bus == pytest.approx(sim.u_global_bus, abs=0.06)

@@ -1,0 +1,187 @@
+"""Integration tests for the full multiprocessor simulation."""
+
+import math
+
+import pytest
+
+from repro.core.model import CacheMVAModel
+from repro.protocols.modifications import ProtocolSpec
+from repro.sim.config import SimulationConfig
+from repro.sim.system import SnoopingBusSimulator, simulate
+from repro.workload.parameters import (
+    ArchitectureParams,
+    SharingLevel,
+    WorkloadParameters,
+    appendix_a_workload,
+)
+
+
+def _quick(workload, n=4, mods=(), seed=11, measured=20_000, **kwargs):
+    return simulate(SimulationConfig(
+        n_processors=n, workload=workload, protocol=ProtocolSpec.of(*mods),
+        seed=seed, warmup_requests=2_000, measured_requests=measured,
+        **kwargs))
+
+
+class TestBasicBehaviour:
+    def test_reproducible_with_seed(self, workload_5pct):
+        a = _quick(workload_5pct, seed=99, measured=5_000)
+        b = _quick(workload_5pct, seed=99, measured=5_000)
+        assert a.speedup == b.speedup
+        assert a.u_bus == b.u_bus
+
+    def test_different_seeds_differ(self, workload_5pct):
+        a = _quick(workload_5pct, seed=1, measured=5_000)
+        b = _quick(workload_5pct, seed=2, measured=5_000)
+        assert a.speedup != b.speedup
+
+    def test_requests_measured(self, workload_5pct):
+        res = _quick(workload_5pct, measured=5_000)
+        assert res.requests_measured >= 5_000
+        assert res.elapsed_cycles > 0.0
+
+    def test_speedup_scales_with_n(self, workload_5pct):
+        s2 = _quick(workload_5pct, n=2, measured=10_000).speedup
+        s6 = _quick(workload_5pct, n=6, measured=10_000).speedup
+        assert s6 > s2 > 0.0
+
+    def test_single_processor_matches_no_contention_mean(self, workload_5pct):
+        """With N=1 there is no bus queueing: R = tau + p_bc t_bc +
+        p_rr t_read + 1 exactly (in expectation)."""
+        res = _quick(workload_5pct, n=1, measured=60_000)
+        sim = SnoopingBusSimulator(SimulationConfig(
+            n_processors=1, workload=workload_5pct))
+        inp = sim.inputs
+        expected = (workload_5pct.tau + inp.p_bc * inp.t_bc
+                    + inp.p_rr * inp.t_read + 1.0)
+        assert res.mean_cycle_time == pytest.approx(expected, rel=0.02)
+        assert res.w_bus == 0.0
+
+    def test_bus_utilization_below_one(self, workload_5pct):
+        res = _quick(workload_5pct, n=6)
+        assert 0.0 < res.u_bus <= 1.0
+
+    def test_saturation_at_large_n(self, workload_5pct):
+        res = _quick(workload_5pct, n=24, measured=20_000)
+        assert res.u_bus == pytest.approx(1.0, abs=0.01)
+
+    def test_memory_utilization_positive_but_small(self, workload_5pct):
+        res = _quick(workload_5pct, n=8)
+        assert 0.0 < res.u_mem < 0.5
+
+    def test_processing_power_below_n(self, workload_5pct):
+        res = _quick(workload_5pct, n=6)
+        assert 0.0 < res.processing_power < 6.0
+        # power ~ speedup * tau / (tau + 1): consistent within noise.
+        assert res.processing_power == pytest.approx(
+            res.speedup * 2.5 / 3.5, rel=0.05)
+
+    def test_summary_string(self, workload_5pct):
+        res = _quick(workload_5pct, measured=2_000)
+        assert "speedup=" in res.summary()
+        assert "Write-Once" in res.summary()
+
+    def test_pure_local_workload_ideal_speedup(self):
+        w = WorkloadParameters(p_private=1.0, p_sro=0.0, p_sw=0.0,
+                               h_private=1.0, r_private=1.0)
+        res = _quick(w, n=4, measured=10_000)
+        assert res.speedup == pytest.approx(4.0, rel=0.02)
+        assert res.u_bus == 0.0
+        assert res.bus_transactions == 0
+
+
+class TestProtocolEffectsInSimulation:
+    def test_mod1_reduces_bus_transactions(self, workload_5pct):
+        base = _quick(workload_5pct, n=6, measured=15_000)
+        mod1 = _quick(workload_5pct, n=6, mods=(1,), measured=15_000)
+        # Private write hits stop broadcasting: fewer transactions per
+        # request (requests equal by construction).
+        assert mod1.bus_transactions < base.bus_transactions
+
+    def test_mod1_improves_speedup(self, workload_5pct):
+        base = _quick(workload_5pct, n=10, measured=25_000)
+        mod1 = _quick(workload_5pct, n=10, mods=(1,), measured=25_000)
+        assert mod1.speedup > base.speedup * 1.03
+
+    def test_mods_1_4_best_at_high_sharing(self):
+        w = appendix_a_workload(SharingLevel.TWENTY_PERCENT)
+        mod1 = _quick(w, n=10, mods=(1,), measured=25_000)
+        mod14 = _quick(w, n=10, mods=(1, 4), measured=25_000)
+        assert mod14.speedup > mod1.speedup * 1.1
+
+    def test_overrides_respected(self, workload_5pct):
+        cfg = SimulationConfig(n_processors=4, workload=workload_5pct,
+                               protocol=ProtocolSpec.of(1))
+        assert cfg.effective_workload.rep_p == 0.3
+        cfg_no = SimulationConfig(n_processors=4, workload=workload_5pct,
+                                  protocol=ProtocolSpec.of(1),
+                                  apply_overrides=False)
+        assert cfg_no.effective_workload.rep_p == 0.2
+
+
+class TestConfigValidation:
+    def test_bad_values(self, workload_5pct):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_processors=0, workload=workload_5pct)
+        with pytest.raises(ValueError):
+            SimulationConfig(n_processors=2, workload=workload_5pct,
+                             warmup_requests=-1)
+        with pytest.raises(ValueError):
+            SimulationConfig(n_processors=2, workload=workload_5pct,
+                             measured_requests=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(n_processors=2, workload=workload_5pct,
+                             n_batches=0)
+
+
+class TestAgainstMVA:
+    """The reproduction's core claim (paper Section 4.2): the MVA agrees
+    with the detailed model on speedup to within a few percent."""
+
+    @pytest.mark.parametrize("n", [2, 6, 10])
+    def test_speedup_agreement_write_once(self, workload_5pct, n):
+        res = _quick(workload_5pct, n=n, measured=40_000)
+        mva = CacheMVAModel(workload_5pct, ProtocolSpec()).solve(n)
+        rel_err = abs(mva.speedup - res.speedup) / res.speedup
+        assert rel_err < 0.05, (n, mva.speedup, res.speedup)
+
+    def test_mva_underestimates_bus_utilization(self, workload_5pct):
+        """Section 4.2: 'the approximate MVA equations generally
+        underestimate bus utilization'."""
+        res = _quick(workload_5pct, n=6, measured=40_000)
+        mva = CacheMVAModel(workload_5pct, ProtocolSpec()).solve(6)
+        assert mva.u_bus < res.u_bus + 0.01
+
+    def test_bus_wait_agreement(self, workload_5pct):
+        res = _quick(workload_5pct, n=6, measured=40_000)
+        mva = CacheMVAModel(workload_5pct, ProtocolSpec()).solve(6)
+        assert mva.w_bus == pytest.approx(res.w_bus, rel=0.25)
+
+
+class TestStressWorkload:
+    def test_stress_parameters_run(self, stress_workload):
+        """Section 4.3 stress test: heavy cache interference still runs
+        and the MVA stays within its 5 % band."""
+        res = _quick(stress_workload, n=6, measured=40_000)
+        mva = CacheMVAModel(stress_workload, ProtocolSpec()).solve(6)
+        rel_err = abs(mva.speedup - res.speedup) / res.speedup
+        assert rel_err < 0.08, (mva.speedup, res.speedup)
+        assert res.mean_interference_wait >= 0.0
+
+
+class TestArchitectureEffects:
+    def test_slow_memory_hurts(self, workload_5pct):
+        fast = _quick(workload_5pct, n=6, measured=10_000)
+        slow = simulate(SimulationConfig(
+            n_processors=6, workload=workload_5pct, seed=11,
+            warmup_requests=2_000, measured_requests=10_000,
+            arch=ArchitectureParams(memory_latency=12.0)))
+        assert slow.speedup < fast.speedup
+
+    def test_single_memory_module_contention(self, workload_5pct):
+        one = simulate(SimulationConfig(
+            n_processors=8, workload=workload_5pct, seed=11,
+            warmup_requests=2_000, measured_requests=10_000,
+            arch=ArchitectureParams(memory_modules=1)))
+        four = _quick(workload_5pct, n=8, measured=10_000)
+        assert one.u_mem > four.u_mem

@@ -1,0 +1,128 @@
+"""Tests for the set-associative cache and the coherent system."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.cache_model import CoherentCacheSystem, SetAssociativeCache
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(n_sets=4, associativity=2)
+        first = cache.access(10, is_write=False)
+        assert not first.hit
+        assert first.evicted_block is None
+        again = cache.access(10, is_write=False)
+        assert again.hit
+
+    def test_lru_eviction_order(self):
+        cache = SetAssociativeCache(n_sets=1, associativity=2)
+        cache.access(1, False)
+        cache.access(2, False)
+        cache.access(1, False)          # refresh 1; LRU is now 2
+        result = cache.access(3, False)  # evicts 2
+        assert result.evicted_block == 2
+        assert cache.contains(1) and cache.contains(3)
+        assert not cache.contains(2)
+
+    def test_dirty_tracking(self):
+        cache = SetAssociativeCache(n_sets=4, associativity=2)
+        cache.access(8, is_write=True)
+        assert cache.is_dirty(8)
+        result = cache.access(8, is_write=True)
+        assert result.was_dirty        # the paper's amod event
+        assert result.hit
+
+    def test_read_does_not_dirty(self):
+        cache = SetAssociativeCache(n_sets=4, associativity=2)
+        cache.access(8, is_write=False)
+        assert not cache.is_dirty(8)
+
+    def test_dirty_eviction_flagged(self):
+        cache = SetAssociativeCache(n_sets=1, associativity=1)
+        cache.access(1, is_write=True)
+        result = cache.access(2, is_write=False)
+        assert result.evicted_block == 1
+        assert result.evicted_dirty    # the paper's rep event
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache(n_sets=4, associativity=2)
+        cache.access(5, False)
+        assert cache.invalidate(5)
+        assert not cache.contains(5)
+        assert not cache.invalidate(5)
+
+    def test_clean(self):
+        cache = SetAssociativeCache(n_sets=4, associativity=2)
+        cache.access(5, True)
+        cache.clean(5)
+        assert cache.contains(5)
+        assert not cache.is_dirty(5)
+
+    def test_set_mapping_isolates_conflicts(self):
+        cache = SetAssociativeCache(n_sets=2, associativity=1)
+        cache.access(0, False)  # set 0
+        cache.access(1, False)  # set 1
+        assert cache.contains(0) and cache.contains(1)
+        result = cache.access(2, False)  # conflicts with 0
+        assert result.evicted_block == 0
+
+    def test_occupancy(self):
+        cache = SetAssociativeCache(n_sets=4, associativity=2)
+        for block in range(5):
+            cache.access(block, False)
+        assert cache.occupancy == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(n_sets=0, associativity=1)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(n_sets=4, associativity=0)
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=50),
+                              st.booleans()), max_size=300))
+    @settings(max_examples=60)
+    def test_occupancy_bounded(self, accesses):
+        cache = SetAssociativeCache(n_sets=4, associativity=2)
+        for block, is_write in accesses:
+            cache.access(block, is_write)
+        assert cache.occupancy <= 8
+
+
+class TestCoherentCacheSystem:
+    def test_write_invalidates_other_copies(self):
+        system = CoherentCacheSystem(n_caches=3, n_sets=4, associativity=2)
+        system.access(0, 7, is_write=False)
+        system.access(1, 7, is_write=False)
+        outcome = system.access(2, 7, is_write=True)
+        assert set(outcome.holders) == {0, 1}
+        assert set(outcome.invalidated) == {0, 1}
+        assert system.holders_of(7) == [2]
+
+    def test_reads_replicate(self):
+        system = CoherentCacheSystem(n_caches=3, n_sets=4, associativity=2)
+        for cpu in range(3):
+            system.access(cpu, 9, is_write=False)
+        assert system.holders_of(9) == [0, 1, 2]
+
+    def test_dirty_supplier_observed_and_cleaned(self):
+        system = CoherentCacheSystem(n_caches=2, n_sets=4, associativity=2)
+        system.access(0, 3, is_write=True)       # dirty in cache 0
+        outcome = system.access(1, 3, is_write=False)
+        assert outcome.supplier_dirty             # wb_csupply event
+        assert not system.caches[0].is_dirty(3)   # flushed (Write-Once)
+        assert system.holders_of(3) == [0, 1]
+
+    def test_single_writer_invariant_fuzzed(self):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        system = CoherentCacheSystem(n_caches=4, n_sets=8, associativity=2)
+        for _ in range(5_000):
+            system.access(int(rng.integers(4)), int(rng.integers(64)),
+                          bool(rng.random() < 0.3))
+        system.check_coherence()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoherentCacheSystem(n_caches=0, n_sets=4, associativity=2)

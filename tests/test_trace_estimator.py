@@ -1,0 +1,123 @@
+"""Tests for the workload estimator (trace -> Appendix-A parameters)."""
+
+import pytest
+
+from repro.core.model import CacheMVAModel
+from repro.trace.cache_model import CoherentCacheSystem
+from repro.trace.generator import (
+    GeneratorConfig,
+    MemoryReference,
+    StreamKind,
+    SyntheticTraceGenerator,
+)
+from repro.trace.estimator import WorkloadEstimator
+
+
+def _pipeline(config: GeneratorConfig, refs: int,
+              n_sets: int = 256, associativity: int = 4):
+    gen = SyntheticTraceGenerator(config)
+    system = CoherentCacheSystem(config.n_processors, n_sets, associativity)
+    est = WorkloadEstimator(system, gen.stream_of)
+    est.observe_trace(gen.trace(refs))
+    return est, system
+
+
+class TestEstimator:
+    def test_requires_observations(self):
+        gen = SyntheticTraceGenerator(GeneratorConfig())
+        est = WorkloadEstimator(
+            CoherentCacheSystem(4, 16, 2), gen.stream_of)
+        with pytest.raises(ValueError, match="no references"):
+            est.estimate()
+
+    def test_mix_recovered(self):
+        est, _ = _pipeline(GeneratorConfig(seed=1), 80_000)
+        w = est.estimate().workload
+        assert w.p_private == pytest.approx(0.95, abs=0.01)
+        assert w.p_sro == pytest.approx(0.03, abs=0.005)
+        assert w.p_sw == pytest.approx(0.02, abs=0.005)
+
+    def test_read_fractions_recovered(self):
+        est, _ = _pipeline(GeneratorConfig(seed=2), 80_000)
+        w = est.estimate().workload
+        assert w.r_private == pytest.approx(0.7, abs=0.02)
+        assert w.r_sw == pytest.approx(0.5, abs=0.05)
+
+    def test_estimated_workload_is_valid(self):
+        est, _ = _pipeline(GeneratorConfig(seed=3), 60_000)
+        w = est.estimate().workload  # WorkloadParameters validates itself
+        assert 0.0 <= w.h_private <= 1.0
+        assert 0.0 <= w.amod_sw <= 1.0
+        assert 0.0 <= w.wb_csupply <= 1.0
+
+    def test_larger_cache_higher_hit_rate(self):
+        small, _ = _pipeline(GeneratorConfig(seed=4), 60_000,
+                             n_sets=32, associativity=2)
+        large, _ = _pipeline(GeneratorConfig(seed=4), 60_000,
+                             n_sets=512, associativity=8)
+        assert (large.estimate().workload.h_private
+                > small.estimate().workload.h_private)
+
+    def test_hotter_locality_higher_hit_rate(self):
+        cold, _ = _pipeline(GeneratorConfig(seed=5, hot_probability=0.3),
+                            60_000)
+        hot, _ = _pipeline(GeneratorConfig(seed=5, hot_probability=0.95),
+                           60_000)
+        assert (hot.estimate().workload.h_private
+                > cold.estimate().workload.h_private)
+
+    def test_private_blocks_never_supplied(self):
+        est, system = _pipeline(GeneratorConfig(seed=6), 60_000)
+        tally = est.estimate().per_stream[StreamKind.PRIVATE]
+        assert tally.misses_supplied == 0
+        system.check_coherence()
+
+    def test_sw_supplied_more_than_zero(self):
+        est, _ = _pipeline(GeneratorConfig(seed=7), 120_000)
+        w = est.estimate().workload
+        assert w.csupply_sw > 0.3  # small hot region shared by 4 cpus
+
+    def test_summary_text(self):
+        est, _ = _pipeline(GeneratorConfig(seed=8), 20_000)
+        text = est.estimate().summary()
+        assert "references" in text
+        assert "csupply" in text
+
+    def test_hand_built_trace(self):
+        """A deterministic three-reference scenario with known tallies."""
+        system = CoherentCacheSystem(2, n_sets=4, associativity=2)
+        est = WorkloadEstimator(system, lambda block: StreamKind.SW, tau=2.5)
+        # cpu0 writes block 1 (miss), cpu1 reads block 1 (miss, dirty
+        # supplier), cpu0 reads block 1 (hit).
+        est.observe(MemoryReference(0, 1, True, StreamKind.SW))
+        est.observe(MemoryReference(1, 1, False, StreamKind.SW))
+        est.observe(MemoryReference(0, 1, False, StreamKind.SW))
+        report = est.estimate()
+        tally = report.per_stream[StreamKind.SW]
+        assert tally.refs == 3
+        assert tally.misses == 2
+        assert tally.misses_supplied == 1
+        assert tally.misses_supplier_dirty == 1
+        assert tally.hits == 1
+        w = report.workload
+        assert w.csupply_sw == pytest.approx(0.5)
+        assert w.wb_csupply == pytest.approx(1.0)
+
+
+class TestEndToEnd:
+    def test_measured_workload_drives_the_mva(self):
+        """The paper's closing loop: measurement -> parameters -> model."""
+        est, _ = _pipeline(GeneratorConfig(seed=9), 100_000)
+        workload = est.estimate().workload
+        model = CacheMVAModel(workload)
+        report = model.solve(10)
+        assert report.converged
+        assert 1.0 < report.speedup < 10.0
+
+    def test_protocol_ordering_with_measured_workload(self):
+        from repro.protocols.modifications import ProtocolSpec
+        est, _ = _pipeline(GeneratorConfig(seed=10), 100_000)
+        workload = est.estimate().workload
+        wo = CacheMVAModel(workload, ProtocolSpec()).speedup(16)
+        mod1 = CacheMVAModel(workload, ProtocolSpec.of(1)).speedup(16)
+        assert mod1 > wo

@@ -1,0 +1,113 @@
+"""Tests for the synthetic trace generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.trace.generator import (
+    GeneratorConfig,
+    SyntheticTraceGenerator,
+    StreamKind,
+)
+
+
+@pytest.fixture
+def generator():
+    return SyntheticTraceGenerator(GeneratorConfig(seed=11))
+
+
+class TestGeneratorConfig:
+    def test_defaults_valid(self):
+        GeneratorConfig()
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            GeneratorConfig(p_private=0.9, p_sro=0.05, p_sw=0.02)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_processors=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(hot_probability=1.5)
+        with pytest.raises(ValueError):
+            GeneratorConfig(sw_blocks=0)
+
+
+class TestAddressLayout:
+    def test_regions_disjoint_and_classified(self, generator):
+        cfg = generator.config
+        for ref in generator.trace(20_000):
+            assert generator.stream_of(ref.block) is ref.stream
+            if ref.stream is StreamKind.PRIVATE:
+                assert ref.block < cfg.n_processors * cfg.private_blocks
+
+    def test_private_blocks_per_cpu_disjoint(self, generator):
+        cfg = generator.config
+        seen: dict[int, int] = {}
+        for ref in generator.trace(30_000):
+            if ref.stream is not StreamKind.PRIVATE:
+                continue
+            owner = ref.block // cfg.private_blocks
+            assert owner == ref.cpu
+            seen.setdefault(ref.block, ref.cpu)
+
+    def test_sro_never_written(self, generator):
+        for ref in generator.trace(20_000):
+            if ref.stream is StreamKind.SRO:
+                assert not ref.is_write
+
+
+class TestFrequencies:
+    def test_stream_mix(self, generator):
+        counts = Counter(ref.stream for ref in generator.trace(100_000))
+        total = sum(counts.values())
+        assert counts[StreamKind.PRIVATE] / total == pytest.approx(0.95, abs=0.01)
+        assert counts[StreamKind.SRO] / total == pytest.approx(0.03, abs=0.005)
+        assert counts[StreamKind.SW] / total == pytest.approx(0.02, abs=0.005)
+
+    def test_read_fractions(self, generator):
+        refs = list(generator.trace(100_000))
+        private = [r for r in refs if r.stream is StreamKind.PRIVATE]
+        sw = [r for r in refs if r.stream is StreamKind.SW]
+        read_frac_p = sum(not r.is_write for r in private) / len(private)
+        read_frac_sw = sum(not r.is_write for r in sw) / len(sw)
+        assert read_frac_p == pytest.approx(0.7, abs=0.01)
+        assert read_frac_sw == pytest.approx(0.5, abs=0.03)
+
+    def test_hot_set_concentration(self):
+        cfg = GeneratorConfig(hot_fraction=0.05, hot_probability=0.9, seed=2)
+        gen = SyntheticTraceGenerator(cfg)
+        hot_limit = int(cfg.sw_blocks * cfg.hot_fraction)
+        sw_base = cfg.n_processors * cfg.private_blocks + cfg.sro_blocks
+        hits = total = 0
+        for ref in gen.trace(200_000):
+            if ref.stream is StreamKind.SW:
+                total += 1
+                if ref.block - sw_base < hot_limit:
+                    hits += 1
+        # hot_probability + cold picks landing in the hot range.
+        expected = 0.9 + 0.1 * cfg.hot_fraction
+        assert hits / total == pytest.approx(expected, abs=0.02)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = SyntheticTraceGenerator(GeneratorConfig(seed=5))
+        b = SyntheticTraceGenerator(GeneratorConfig(seed=5))
+        assert list(a.trace(500)) == list(b.trace(500))
+
+    def test_different_seed_differs(self):
+        a = SyntheticTraceGenerator(GeneratorConfig(seed=5))
+        b = SyntheticTraceGenerator(GeneratorConfig(seed=6))
+        assert list(a.trace(500)) != list(b.trace(500))
+
+    def test_round_robin_cpus(self):
+        gen = SyntheticTraceGenerator(GeneratorConfig(n_processors=3, seed=1))
+        cpus = [ref.cpu for ref in gen.trace_round_robin(9)]
+        assert cpus == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+    def test_negative_length_rejected(self, generator):
+        with pytest.raises(ValueError):
+            list(generator.trace(-1))
+        with pytest.raises(ValueError):
+            list(generator.trace_round_robin(-1))

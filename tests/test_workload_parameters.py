@@ -1,0 +1,136 @@
+"""Unit tests for repro.workload.parameters."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workload.parameters import (
+    ArchitectureParams,
+    SharingLevel,
+    WorkloadParameters,
+    appendix_a_workload,
+    katz_sharing_workload,
+    stress_test_workload,
+)
+
+
+class TestWorkloadParameters:
+    def test_defaults_are_appendix_a_five_percent(self):
+        w = WorkloadParameters()
+        assert w.tau == 2.5
+        assert (w.p_private, w.p_sro, w.p_sw) == (0.95, 0.03, 0.02)
+        assert w.h_private == w.h_sro == 0.95
+        assert w.h_sw == 0.5
+        assert w.r_private == 0.7
+        assert w.r_sw == 0.5
+        assert (w.amod_private, w.amod_sw) == (0.7, 0.3)
+        assert (w.csupply_sro, w.csupply_sw) == (0.95, 0.5)
+        assert w.wb_csupply == 0.3
+        assert (w.rep_p, w.rep_sw) == (0.2, 0.5)
+
+    def test_stream_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            WorkloadParameters(p_private=0.9, p_sro=0.02, p_sw=0.02)
+
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(ValueError, match="h_private"):
+            WorkloadParameters(h_private=1.5)
+        with pytest.raises(ValueError, match="rep_sw"):
+            WorkloadParameters(rep_sw=-0.1)
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValueError, match="tau"):
+            WorkloadParameters(tau=-1.0)
+
+    def test_replace_returns_validated_copy(self):
+        w = WorkloadParameters()
+        w2 = w.replace(h_sw=0.95)
+        assert w2.h_sw == 0.95
+        assert w.h_sw == 0.5  # original untouched
+        with pytest.raises(ValueError):
+            w.replace(h_sw=2.0)
+
+    def test_frozen(self):
+        w = WorkloadParameters()
+        with pytest.raises(AttributeError):
+            w.tau = 3.0  # type: ignore[misc]
+
+    def test_sharing_fraction(self):
+        w = appendix_a_workload(SharingLevel.TWENTY_PERCENT)
+        assert math.isclose(w.sharing_fraction, 0.20)
+
+    def test_write_fraction(self):
+        w = WorkloadParameters()
+        expected = 0.95 * 0.3 + 0.02 * 0.5
+        assert math.isclose(w.write_fraction, expected)
+
+    @given(st.sampled_from(list(SharingLevel)))
+    def test_appendix_a_mix_matches_level(self, level):
+        w = appendix_a_workload(level)
+        assert math.isclose(w.sharing_fraction, level.value, abs_tol=1e-12)
+        assert math.isclose(w.p_private + w.p_sro + w.p_sw, 1.0)
+
+
+class TestSharingLevel:
+    def test_labels(self):
+        assert SharingLevel.ONE_PERCENT.label == "1%"
+        assert SharingLevel.FIVE_PERCENT.label == "5%"
+        assert SharingLevel.TWENTY_PERCENT.label == "20%"
+
+    def test_values_are_fractions(self):
+        assert SharingLevel.TWENTY_PERCENT.value == 0.20
+
+
+class TestArchitectureParams:
+    def test_paper_defaults(self):
+        a = ArchitectureParams()
+        assert a.block_size == 4
+        assert a.memory_modules == 4
+        assert a.memory_latency == 3.0
+        assert a.t_supply == 1.0
+        assert a.write_word_cycles == 1.0
+
+    def test_derived_timings(self):
+        a = ArchitectureParams()
+        assert a.block_transfer_cycles == 4.0
+        assert a.base_read_cycles == 8.0  # 1 addr + 3 latency + 4 transfer
+        assert a.cache_supply_cycles == 5.0  # 1 addr + 4 transfer
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="block_size"):
+            ArchitectureParams(block_size=0)
+        with pytest.raises(ValueError, match="memory_modules"):
+            ArchitectureParams(memory_modules=0)
+        with pytest.raises(ValueError, match="words_per_cycle"):
+            ArchitectureParams(words_per_cycle=0.0)
+        with pytest.raises(ValueError, match="memory_latency"):
+            ArchitectureParams(memory_latency=-1.0)
+
+    def test_replace(self):
+        a = ArchitectureParams().replace(block_size=8)
+        assert a.block_transfer_cycles == 8.0
+
+    def test_wider_bus_shortens_transfer(self):
+        a = ArchitectureParams(words_per_cycle=2.0)
+        assert a.block_transfer_cycles == 2.0
+
+
+class TestSpecialWorkloads:
+    def test_stress_test_values(self):
+        w = stress_test_workload()
+        assert w.p_sw == 0.2
+        assert w.h_sw == 0.1
+        assert w.amod_sw == 0.0
+        assert w.csupply_sro == w.csupply_sw == 1.0
+        assert w.rep_p == w.rep_sw == 0.0
+        assert math.isclose(w.p_private + w.p_sro + w.p_sw, 1.0)
+
+    def test_katz_workload_is_99_percent_sharing(self):
+        w = katz_sharing_workload()
+        assert math.isclose(w.sharing_fraction, 0.99)
+        assert w.amod_sw == 0.05
+
+    def test_katz_workload_amod_overridable(self):
+        assert katz_sharing_workload(amod_sw=0.3).amod_sw == 0.3

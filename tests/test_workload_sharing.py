@@ -1,0 +1,162 @@
+"""Tests for the N-dependent sharing refinement (paper's future work)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import CacheMVAModel
+from repro.core.scaled import ScaledSharingMVAModel
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.derived import derive_inputs
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+from repro.workload.sharing import (
+    SharingScalingModel,
+    csupply_from_residency,
+    residency_from_csupply,
+)
+
+
+class TestResidencyMath:
+    def test_single_processor_never_supplied(self):
+        assert csupply_from_residency(0.8, 1) == 0.0
+
+    def test_two_processors_equals_q(self):
+        assert csupply_from_residency(0.3, 2) == pytest.approx(0.3)
+
+    def test_monotone_in_n(self):
+        values = [csupply_from_residency(0.2, n) for n in (2, 4, 8, 16, 64)]
+        assert values == sorted(values)
+        assert values[-1] > 0.99
+
+    @given(st.floats(min_value=1e-4, max_value=0.9999),
+           st.integers(min_value=2, max_value=100))
+    @settings(max_examples=100)
+    def test_inverse_roundtrip(self, csupply, n):
+        q = residency_from_csupply(csupply, n)
+        assert csupply_from_residency(q, n) == pytest.approx(csupply, rel=1e-9)
+
+    def test_certain_supply(self):
+        assert residency_from_csupply(1.0, 10) == 1.0
+        assert csupply_from_residency(1.0, 2) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            csupply_from_residency(1.5, 4)
+        with pytest.raises(ValueError):
+            csupply_from_residency(0.5, 0)
+        with pytest.raises(ValueError):
+            residency_from_csupply(0.5, 1)
+        with pytest.raises(ValueError):
+            residency_from_csupply(-0.1, 4)
+
+
+class TestSharingScalingModel:
+    def test_calibration_is_fixed_point(self, workload_5pct):
+        model = SharingScalingModel.calibrated(workload_5pct,
+                                               reference_size=10)
+        assert model.csupply_sro(10) == pytest.approx(
+            workload_5pct.csupply_sro)
+        assert model.csupply_sw(10) == pytest.approx(workload_5pct.csupply_sw)
+
+    def test_scale_replaces_only_csupply(self, workload_5pct):
+        model = SharingScalingModel.calibrated(workload_5pct)
+        scaled = model.scale(workload_5pct, 4)
+        assert scaled.csupply_sro < workload_5pct.csupply_sro
+        assert scaled.csupply_sw < workload_5pct.csupply_sw
+        assert scaled.h_private == workload_5pct.h_private
+        assert scaled.tau == workload_5pct.tau
+
+    def test_holder_probability_weighted_by_miss_mix(self, workload_5pct):
+        model = SharingScalingModel(q_sro=0.4, q_sw=0.1)
+        hp = model.holder_probability(workload_5pct)
+        sro_miss = 0.03 * 0.05
+        sw_miss = 0.02 * 0.5
+        expected = (0.4 * sro_miss + 0.1 * sw_miss) / (sro_miss + sw_miss)
+        assert hp == pytest.approx(expected)
+        assert 0.1 < hp < 0.4
+
+    def test_holder_probability_no_shared_traffic(self):
+        w = appendix_a_workload(SharingLevel.ONE_PERCENT).replace(
+            p_private=0.99, p_sro=0.01, p_sw=0.0, h_sro=1.0)
+        model = SharingScalingModel(q_sro=0.4, q_sw=0.1)
+        assert model.holder_probability(w) == 0.0
+
+    def test_expected_holders(self, workload_5pct):
+        model = SharingScalingModel(q_sro=0.5, q_sw=0.5)
+        assert model.expected_holders(11, workload_5pct) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharingScalingModel(q_sro=1.2, q_sw=0.5)
+
+
+class TestDerivedInputsHolderProbability:
+    def test_default_matches_paper(self, workload_5pct):
+        default = derive_inputs(workload_5pct)
+        explicit = derive_inputs(workload_5pct, holder_probability=0.5)
+        assert default.cache_interference(8) == explicit.cache_interference(8)
+
+    def test_lower_holder_probability_less_interference(self, workload_5pct):
+        low = derive_inputs(workload_5pct, holder_probability=0.1)
+        high = derive_inputs(workload_5pct, holder_probability=0.9)
+        assert low.cache_interference(8).p < high.cache_interference(8).p
+
+    def test_bounds_checked(self, workload_5pct):
+        with pytest.raises(ValueError, match="holder_probability"):
+            derive_inputs(workload_5pct, holder_probability=1.5)
+
+    def test_zero_holder_probability(self, workload_5pct):
+        inputs = derive_inputs(workload_5pct, holder_probability=0.0)
+        ci = inputs.cache_interference(8)
+        assert ci.p == 0.0
+        assert ci.n_interference(3.0) == 0.0
+
+
+class TestScaledSharingMVAModel:
+    def test_agrees_with_fixed_model_at_reference(self, workload_5pct):
+        """At the calibration size the refinement must reproduce...
+        well, everything except the interference holder probability, so
+        speedups agree to within a fraction of a percent."""
+        fixed = CacheMVAModel(workload_5pct)
+        scaled = ScaledSharingMVAModel(workload_5pct, reference_size=10)
+        assert scaled.speedup(10) == pytest.approx(fixed.speedup(10),
+                                                   rel=0.01)
+
+    def test_small_systems_look_better_under_scaling(self, workload_5pct):
+        """Below the reference size the paper's fixed csupply over-states
+        supplier write-back traffic, so the scaled model predicts more
+        speedup."""
+        fixed = CacheMVAModel(workload_5pct)
+        scaled = ScaledSharingMVAModel(workload_5pct, reference_size=10)
+        assert scaled.speedup(2) > fixed.speedup(2)
+
+    def test_respects_protocol_overrides(self, workload_5pct):
+        scaled = ScaledSharingMVAModel(workload_5pct, ProtocolSpec.of(1))
+        assert scaled.workload.rep_p == 0.3
+
+    def test_protocol_ordering_preserved(self, workload_5pct):
+        """The refinement must not change the paper's conclusions."""
+        speeds = {}
+        for mods in [(), (1,), (1, 4)]:
+            model = ScaledSharingMVAModel(workload_5pct,
+                                          ProtocolSpec.of(*mods))
+            speeds[mods] = model.speedup(20)
+        assert speeds[()] < speeds[(1,)] < speeds[(1, 4)]
+
+    def test_converges_over_wide_range(self, workload_20pct):
+        model = ScaledSharingMVAModel(workload_20pct)
+        for n in (1, 2, 10, 100, 1000):
+            report = model.solve(n)
+            assert report.converged
+            assert math.isfinite(report.speedup)
+
+    def test_custom_scaling_accepted(self, workload_5pct):
+        scaling = SharingScalingModel(q_sro=0.05, q_sw=0.05)
+        model = ScaledSharingMVAModel(workload_5pct, scaling=scaling)
+        # Very low residency: shared misses rarely supplied, csupply
+        # tiny at N=2.
+        scaled_workload = scaling.scale(workload_5pct, 2)
+        assert scaled_workload.csupply_sro == pytest.approx(0.05)
+        assert model.solve(2).converged

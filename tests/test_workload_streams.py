@@ -1,0 +1,89 @@
+"""Tests for the simulator's reference-outcome sampler."""
+
+import math
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.workload.derived import derive_inputs
+from repro.workload.parameters import WorkloadParameters
+from repro.workload.streams import ReferenceOutcome, ReferenceStream, RequestKind
+
+
+@pytest.fixture
+def stream_5pct(workload_5pct):
+    inputs = derive_inputs(workload_5pct)
+    return ReferenceStream(inputs, rng=np.random.default_rng(42))
+
+
+def _sample_kinds(stream: ReferenceStream, n: int) -> Counter:
+    return Counter(stream.sample().kind for _ in range(n))
+
+
+class TestReferenceStream:
+    def test_kind_frequencies_match_probabilities(self, stream_5pct):
+        n = 200_000
+        counts = _sample_kinds(stream_5pct, n)
+        inputs = stream_5pct.inputs
+        assert counts[RequestKind.LOCAL] / n == pytest.approx(inputs.p_local, abs=5e-3)
+        assert counts[RequestKind.BROADCAST] / n == pytest.approx(inputs.p_bc, abs=5e-3)
+        assert counts[RequestKind.REMOTE_READ] / n == pytest.approx(inputs.p_rr, abs=5e-3)
+
+    def test_remote_read_sub_outcomes(self, workload_5pct):
+        inputs = derive_inputs(workload_5pct)
+        stream = ReferenceStream(inputs, rng=np.random.default_rng(7))
+        outcomes = [stream.sample() for _ in range(400_000)]
+        reads = [o for o in outcomes if o.kind is RequestKind.REMOTE_READ]
+        supplied = sum(o.cache_supplied for o in reads) / len(reads)
+        supplier_wb = sum(o.supplier_writeback for o in reads) / len(reads)
+        req_wb = sum(o.req_writeback for o in reads) / len(reads)
+        assert supplied == pytest.approx(inputs.p_csup_rr, abs=1e-2)
+        assert supplier_wb == pytest.approx(
+            inputs.p_csup_rr * workload_5pct.wb_csupply, abs=1e-2)
+        assert req_wb == pytest.approx(inputs.p_reqwb_rr, abs=1e-2)
+
+    def test_supplier_writeback_implies_supply(self, stream_5pct):
+        for _ in range(20_000):
+            o = stream_5pct.sample()
+            if o.supplier_writeback:
+                assert o.cache_supplied
+            if o.cache_supplied:
+                assert o.shared
+                assert o.kind is RequestKind.REMOTE_READ
+
+    def test_broadcast_shared_flag_frequency(self, workload_5pct):
+        inputs = derive_inputs(workload_5pct)
+        stream = ReferenceStream(inputs, rng=np.random.default_rng(3))
+        bcasts = [o for o in (stream.sample() for _ in range(400_000))
+                  if o.kind is RequestKind.BROADCAST]
+        shared_frac = sum(o.shared for o in bcasts) / len(bcasts)
+        expected = inputs.mix.sw_broadcast(inputs.mods) / inputs.p_bc
+        assert shared_frac == pytest.approx(expected, abs=1.5e-2)
+
+    def test_execution_cycles_exponential_mean(self, stream_5pct, workload_5pct):
+        draws = [stream_5pct.execution_cycles() for _ in range(100_000)]
+        assert sum(draws) / len(draws) == pytest.approx(workload_5pct.tau, rel=0.02)
+        assert all(d >= 0.0 for d in draws)
+
+    def test_zero_tau_yields_zero_bursts(self, workload_5pct):
+        inputs = derive_inputs(workload_5pct.replace(tau=0.0))
+        stream = ReferenceStream(inputs, rng=np.random.default_rng(0))
+        assert stream.execution_cycles() == 0.0
+
+    def test_deterministic_with_seed(self, workload_5pct):
+        inputs = derive_inputs(workload_5pct)
+        a = ReferenceStream(inputs, rng=np.random.default_rng(123))
+        b = ReferenceStream(inputs, rng=np.random.default_rng(123))
+        assert [a.sample() for _ in range(100)] == [b.sample() for _ in range(100)]
+
+    def test_pure_local_workload_never_uses_bus(self):
+        w = WorkloadParameters(p_private=1.0, p_sro=0.0, p_sw=0.0,
+                               h_private=1.0, r_private=1.0)
+        stream = ReferenceStream(derive_inputs(w), rng=np.random.default_rng(1))
+        assert all(stream.sample().kind is RequestKind.LOCAL for _ in range(1000))
+
+    def test_outcome_is_frozen(self):
+        o = ReferenceOutcome(kind=RequestKind.LOCAL)
+        with pytest.raises(AttributeError):
+            o.shared = True  # type: ignore[misc]
