@@ -1,0 +1,122 @@
+"""E13: the evaluation service -- parallel fan-out and result caching.
+
+The paper's efficiency claim (Section 3.2: "seconds of computing,
+independent of N") makes the MVA cheap enough to *serve*; this bench
+measures the two service-layer multipliers on top of it:
+
+1. a multi-protocol sweep with simulation cells fans out over a
+   process pool, cutting wall-clock below the serial run;
+2. a repeated sweep with the content-addressed cache enabled re-solves
+   zero cells (100 % hit rate).
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import once  # noqa: E402
+
+from repro.analysis.grid import GridSpec
+from repro.protocols.modifications import ProtocolSpec
+from repro.service import MetricsRegistry, ResultCache, SweepExecutor
+from repro.workload.parameters import SharingLevel
+
+#: Simulation cells are what makes parallelism worth having: each cell
+#: costs ~a second, so four workers on eight cells should roughly halve
+#: the wall-clock even with pool start-up overhead.
+_SWEEP = GridSpec(
+    protocols=[ProtocolSpec(), ProtocolSpec.of(1), ProtocolSpec.of(1, 4),
+               ProtocolSpec.of(1, 2, 3)],
+    sizes=[4, 8],
+    sharing_levels=[SharingLevel.FIVE_PERCENT],
+    include_simulation=True,
+    sim_requests=8_000,
+)
+
+
+def test_parallel_sweep_beats_serial(benchmark, emit):
+    """Wall-clock of the same sim-heavy sweep, serial vs 4 workers."""
+
+    def run_both():
+        started = time.perf_counter()
+        serial = SweepExecutor(jobs=1).run_spec(_SWEEP)
+        serial_s = time.perf_counter() - started
+        started = time.perf_counter()
+        parallel = SweepExecutor(jobs=4).run_spec(_SWEEP)
+        parallel_s = time.perf_counter() - started
+        rows_equal = ([c.as_row() for c in serial.cells]
+                      == [c.as_row() for c in parallel.cells])
+        return serial_s, parallel_s, parallel.summary.mode, rows_equal
+
+    serial_s, parallel_s, mode, rows_equal = once(benchmark, run_both)
+    cores = os.cpu_count() or 1
+    emit("service.txt",
+         f"E13 parallel sweep ({len(_SWEEP.protocols)} protocols x "
+         f"{len(_SWEEP.sizes)} sizes, MVA+sim cells, {cores} cores):\n"
+         f"  serial   : {serial_s:7.2f} s\n"
+         f"  jobs=4   : {parallel_s:7.2f} s ({mode}, "
+         f"{serial_s / parallel_s:.2f}x)\n")
+    assert rows_equal, "parallel sweep must be bit-identical to serial"
+    # Wall-clock can only drop when the machine has cores to fan out to.
+    if mode == "process-pool" and cores > 1:
+        assert parallel_s < serial_s, (
+            f"4-worker sweep ({parallel_s:.2f}s) not faster than serial "
+            f"({serial_s:.2f}s)")
+
+
+def test_cached_rerun_solves_nothing(benchmark, emit):
+    """A repeated sweep through the cache is a 100 % hit rate."""
+    registry = MetricsRegistry()
+    executor = SweepExecutor(jobs=4, cache=ResultCache(), metrics=registry)
+
+    def run_twice():
+        executor.run_spec(_SWEEP)
+        started = time.perf_counter()
+        rerun = executor.run_spec(_SWEEP)
+        return rerun, time.perf_counter() - started
+
+    rerun, rerun_s = once(benchmark, run_twice)
+    snapshot = registry.snapshot()
+    emit("service.txt",
+         f"E13 cached rerun of the same sweep:\n"
+         f"  cells re-solved : {rerun.summary.solved}\n"
+         f"  cache hit rate  : {rerun.summary.cache_hit_rate:.0%}\n"
+         f"  rerun wall      : {rerun_s * 1e3:.1f} ms\n"
+         f"  metrics         : hits={snapshot['repro_cache_hits_total']:g} "
+         f"misses={snapshot['repro_cache_misses_total']:g}\n")
+    assert rerun.summary.solved == 0
+    assert rerun.summary.cache_hit_rate == 1.0
+    assert snapshot["repro_cache_hits_total"] == rerun.summary.total
+
+
+def test_mva_grid_latency_through_service(benchmark, emit):
+    """Interactive-exploration latency: a 48-cell MVA-only grid, cold
+    vs cached, through the service executor."""
+    spec = GridSpec(
+        protocols=[ProtocolSpec(), ProtocolSpec.of(1), ProtocolSpec.of(1, 4),
+                   ProtocolSpec.of(1, 2, 3)],
+        sizes=[1, 2, 4, 8, 16, 32, 64, 128],
+        sharing_levels=[SharingLevel.FIVE_PERCENT,
+                        SharingLevel.TWENTY_PERCENT])
+    executor = SweepExecutor(cache=ResultCache())
+
+    def cold_then_warm():
+        started = time.perf_counter()
+        cold = executor.run_spec(spec)
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = executor.run_spec(spec)
+        warm_s = time.perf_counter() - started
+        return cold, cold_s, warm, warm_s
+
+    cold, cold_s, warm, warm_s = once(benchmark, cold_then_warm)
+    emit("service.txt",
+         f"E13 MVA-only design-space grid ({cold.summary.total} cells):\n"
+         f"  cold solve : {cold_s * 1e3:7.1f} ms\n"
+         f"  cached     : {warm_s * 1e3:7.1f} ms "
+         f"({cold_s / warm_s:.0f}x faster)\n")
+    assert warm.summary.cache_hit_rate == 1.0
+    assert warm_s < cold_s

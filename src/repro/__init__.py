@@ -18,7 +18,10 @@ The package provides:
 * :mod:`repro.queueing` -- classical exact/approximate MVA for closed
   queueing networks;
 * :mod:`repro.analysis` -- the experiment harness regenerating every
-  table and figure of the paper (see DESIGN.md / EXPERIMENTS.md).
+  table and figure of the paper (see DESIGN.md / EXPERIMENTS.md);
+* :mod:`repro.service` -- the solver as an evaluation service: result
+  cache, parallel sweep executor, metrics, HTTP JSON API
+  (``repro serve``; see docs/service.md).
 """
 
 from repro.core.metrics import PerformanceReport, ResponseBreakdown

@@ -10,19 +10,20 @@ from __future__ import annotations
 
 import io
 import json
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.core.model import CacheMVAModel
 from repro.protocols.modifications import ProtocolSpec
-from repro.sim.config import SimulationConfig
-from repro.sim.system import simulate
 from repro.workload.parameters import (
     ArchitectureParams,
     SharingLevel,
     WorkloadParameters,
     appendix_a_workload,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.service.executor import SweepExecutor
 
 
 @dataclass(frozen=True)
@@ -67,45 +68,22 @@ class GridSpec:
 
 
 def run_grid(spec: GridSpec,
-             workload_for: "callable[[SharingLevel], WorkloadParameters]" = appendix_a_workload,
+             workload_for: Callable[[SharingLevel], WorkloadParameters] = appendix_a_workload,
+             executor: "SweepExecutor | None" = None,
              ) -> list[GridCell]:
-    """Solve every grid point; simulation cells follow their MVA cell."""
-    cells: list[GridCell] = []
-    for protocol in spec.protocols:
-        for level in spec.sharing_levels:
-            workload = workload_for(level)
-            model = CacheMVAModel(workload, protocol, arch=spec.arch)
-            for n in spec.sizes:
-                report = model.solve(n)
-                cells.append(GridCell(
-                    protocol=protocol.label,
-                    sharing=level.label,
-                    n_processors=n,
-                    speedup=report.speedup,
-                    u_bus=report.u_bus,
-                    w_bus=report.w_bus,
-                    cycle_time=report.cycle_time,
-                    processing_power=report.processing_power,
-                ))
-                if spec.include_simulation:
-                    result = simulate(SimulationConfig(
-                        n_processors=n, workload=workload,
-                        protocol=protocol, arch=spec.arch,
-                        seed=spec.sim_seed + n,
-                        measured_requests=spec.sim_requests))
-                    cells.append(GridCell(
-                        protocol=protocol.label,
-                        sharing=level.label,
-                        n_processors=n,
-                        speedup=result.speedup,
-                        u_bus=result.u_bus,
-                        w_bus=result.w_bus,
-                        cycle_time=result.mean_cycle_time,
-                        processing_power=result.processing_power,
-                        method="sim",
-                        sim_ci=result.speedup_ci_halfwidth,
-                    ))
-    return cells
+    """Solve every grid point; simulation cells follow their MVA cell.
+
+    All evaluation goes through :class:`repro.service.SweepExecutor`;
+    the default (no ``executor``) is a serial, uncached run whose cells
+    are identical -- values and order -- to the historical in-line
+    loop.  Pass an executor configured with ``jobs``/``cache`` to
+    parallelize the sweep or reuse previously solved cells.
+    """
+    from repro.service.executor import SweepExecutor
+
+    if executor is None:
+        executor = SweepExecutor(jobs=1)
+    return executor.run_spec(spec, workload_for).cells
 
 
 _CSV_COLUMNS = ("protocol", "sharing", "n_processors", "method", "speedup",

@@ -10,6 +10,7 @@ Subcommands:
 * ``protocols``-- list the named protocol family
 * ``hierarchy``-- two-level-bus extension (clusters on a global bus)
 * ``estimate`` -- measure Appendix-A parameters from a synthetic trace
+* ``serve``    -- HTTP JSON evaluation service (cache + process pool)
 """
 
 from __future__ import annotations
@@ -33,6 +34,13 @@ _SHARING = {
     "5": SharingLevel.FIVE_PERCENT,
     "20": SharingLevel.TWENTY_PERCENT,
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _protocol_from_args(args: argparse.Namespace) -> ProtocolSpec:
@@ -209,7 +217,22 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     spec = GridSpec(protocols=protocols, sizes=args.n,
                     include_simulation=args.simulate,
                     sim_requests=args.requests)
-    cells = run_grid(spec)
+    if args.jobs > 1 or args.cache:
+        # The service executor: parallel fan-out and/or a persistent
+        # result cache.  The sweep summary goes to stderr so stdout
+        # stays a clean CSV/JSON document.
+        from repro.service import ResultCache, SweepExecutor
+        try:
+            cache = ResultCache(path=args.cache) if args.cache else None
+            executor = SweepExecutor(jobs=args.jobs, cache=cache)
+            result = executor.run_spec(spec)
+        except OSError as exc:  # e.g. an unwritable --cache path
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        cells = result.cells
+        print(result.summary.line(), file=sys.stderr)
+    else:
+        cells = run_grid(spec)
     payload = to_json(cells) if args.json else to_csv(cells)
     if args.output:
         with open(args.output, "w") as fh:
@@ -217,6 +240,33 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         print(f"wrote {len(cells)} cells to {args.output}")
     else:
         print(payload, end="")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ModelService, ResultCache, start_server
+
+    try:
+        cache = ResultCache(path=args.cache) if args.cache else ResultCache()
+        server = start_server(ModelService(cache=cache, jobs=args.jobs),
+                              host=args.host, port=args.port)
+    except OSError as exc:  # port in use, unresolvable host, ...
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"repro service listening on {server.url} "
+          f"(jobs={args.jobs}, cache="
+          f"{args.cache or 'in-memory'}; Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        try:
+            cache.flush()
+        except OSError as exc:
+            print(f"error: could not persist cache: {exc}", file=sys.stderr)
+            return 2
     return 0
 
 
@@ -305,7 +355,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--requests", type=int, default=40_000)
     p_grid.add_argument("--json", action="store_true")
     p_grid.add_argument("--output", "-o", help="write to a file")
+    p_grid.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes for the sweep (default: "
+                             "1, serial)")
+    p_grid.add_argument("--cache",
+                        help="persistent result-cache JSON file; repeat "
+                             "runs reuse previously solved cells")
     p_grid.set_defaults(func=_cmd_grid)
+
+    p_serve = sub.add_parser("serve",
+                             help="run the HTTP JSON evaluation service "
+                                  "(POST /solve, POST /grid, GET /healthz, "
+                                  "GET /metrics)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="TCP port (0 picks an ephemeral port)")
+    p_serve.add_argument("--jobs", type=_positive_int, default=1,
+                         help="worker processes for grid sweeps")
+    p_serve.add_argument("--cache",
+                         help="persistent result-cache JSON file")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_report = sub.add_parser("report", help="compact live reproduction "
                                              "report (tables + agreement)")

@@ -1,0 +1,54 @@
+"""repro.service -- the solver packaged as an evaluation service.
+
+The paper's selling point is that the customized MVA is cheap enough
+for *interactive* design-space exploration.  This package turns the
+solver into infrastructure that can serve that exploration at scale:
+
+* :mod:`repro.service.keys`     -- content-addressed cache keys over
+  (workload, protocol, arch, N, solver settings);
+* :mod:`repro.service.cache`    -- an LRU result cache with an optional
+  JSON-on-disk persistent store;
+* :mod:`repro.service.metrics`  -- counters and histograms (cache hit
+  rate, solve latency, iterations-to-convergence) with a Prometheus
+  text exposition;
+* :mod:`repro.service.executor` -- a parallel sweep executor fanning
+  grid cells over a process pool with deterministic ordering, per-cell
+  retry for simulation cells and graceful serial fallback;
+* :mod:`repro.service.app`      -- the transport-agnostic service
+  facade (solve / grid / health / metrics);
+* :mod:`repro.service.http`     -- a stdlib-only HTTP JSON API
+  (``POST /solve``, ``POST /grid``, ``GET /healthz``, ``GET /metrics``)
+  behind the ``repro serve`` CLI subcommand.
+"""
+
+from repro.service.app import ModelService, ServiceError
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.executor import (
+    CellTask,
+    ExecutorSummary,
+    SweepExecutor,
+    SweepResult,
+    tasks_for_spec,
+)
+from repro.service.http import ServiceHTTPServer, start_server
+from repro.service.keys import canonical_key, canonicalize, task_key
+from repro.service.metrics import Counter, Histogram, MetricsRegistry
+
+__all__ = [
+    "CacheStats",
+    "CellTask",
+    "Counter",
+    "ExecutorSummary",
+    "Histogram",
+    "MetricsRegistry",
+    "ModelService",
+    "ResultCache",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "SweepExecutor",
+    "SweepResult",
+    "canonical_key",
+    "canonicalize",
+    "start_server",
+    "task_key",
+]

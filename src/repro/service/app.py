@@ -1,0 +1,239 @@
+"""Transport-agnostic model-evaluation service facade.
+
+:class:`ModelService` owns one cache, one metrics registry and one
+executor configuration, and exposes the four operations the HTTP layer
+(and any future transport) maps onto:
+
+* :meth:`solve`   -- one or more MVA solutions for a named protocol;
+* :meth:`grid`    -- a full (protocols x sharing x N) sweep;
+* :meth:`health`  -- liveness payload;
+* :meth:`metrics_text` -- the Prometheus exposition.
+
+All request parsing raises :class:`ServiceError` with an HTTP-ish
+status code, so transports translate errors uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro import __version__
+from repro.analysis.grid import GridSpec
+from repro.protocols.family import PROTOCOLS
+from repro.protocols.modifications import ProtocolSpec, parse_mods
+from repro.service.cache import ResultCache
+from repro.service.executor import CellTask, SweepExecutor
+from repro.service.metrics import MetricsRegistry
+from repro.workload.parameters import (
+    ArchitectureParams,
+    SharingLevel,
+    WorkloadParameters,
+    appendix_a_workload,
+)
+
+_SHARING_BY_NAME = {
+    "1": SharingLevel.ONE_PERCENT,
+    "5": SharingLevel.FIVE_PERCENT,
+    "20": SharingLevel.TWENTY_PERCENT,
+}
+
+#: POST /grid sweeps are bounded so one request cannot monopolise the
+#: service (raise via ``max_grid_cells`` for trusted deployments).
+DEFAULT_MAX_GRID_CELLS = 4096
+
+
+class ServiceError(Exception):
+    """A client-visible request failure with an HTTP status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ServiceError(400, message)
+
+
+def _parse_protocol(value: Any) -> ProtocolSpec:
+    _require(isinstance(value, str), "'protocol' must be a string "
+             "(a named protocol or a modification list like '1,4')")
+    name = value.strip().lower()
+    if name in PROTOCOLS:
+        return PROTOCOLS[name]
+    try:
+        return parse_mods(value)
+    except ValueError as exc:
+        raise ServiceError(400, f"unknown protocol {value!r}: {exc}") from exc
+
+
+def _parse_sharing(value: Any) -> SharingLevel:
+    key = str(value).strip().rstrip("%")
+    level = _SHARING_BY_NAME.get(key)
+    _require(level is not None, f"unknown sharing level {value!r} "
+             f"(expected one of {sorted(_SHARING_BY_NAME)})")
+    assert level is not None
+    return level
+
+
+def _parse_sizes(value: Any, field: str) -> list[int]:
+    if isinstance(value, int) and not isinstance(value, bool):
+        value = [value]
+    _require(isinstance(value, list) and value
+             and all(isinstance(n, int) and not isinstance(n, bool)
+                     and n >= 1 for n in value),
+             f"{field!r} must be a positive integer or a non-empty "
+             "list of positive integers")
+    return list(value)
+
+
+def _parse_overrides(payload: dict[str, Any], key: str,
+                     base: Any, cls: type) -> Any:
+    """Apply a JSON object of field overrides to a frozen dataclass."""
+    overrides = payload.get(key)
+    if overrides is None:
+        return base
+    _require(isinstance(overrides, dict),
+             f"{key!r} must be an object of field overrides")
+    try:
+        return base.replace(**overrides)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(400, f"bad {key!r} overrides: {exc}") from exc
+
+
+class ModelService:
+    """One cache + metrics + executor configuration behind the API."""
+
+    def __init__(self, cache: ResultCache | None = None, jobs: int = 1,
+                 metrics: MetricsRegistry | None = None,
+                 max_grid_cells: int = DEFAULT_MAX_GRID_CELLS):
+        self.cache = cache if cache is not None else ResultCache()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.jobs = jobs
+        self.max_grid_cells = max_grid_cells
+        self.started_at = time.time()
+
+    def _executor(self, jobs: int | None = None) -> SweepExecutor:
+        return SweepExecutor(jobs=jobs if jobs is not None else self.jobs,
+                             cache=self.cache, metrics=self.metrics)
+
+    # -- operations ------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Liveness payload for ``GET /healthz``."""
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "cache_entries": len(self.cache),
+            "cache_hit_rate": round(self.cache.stats.hit_rate, 6),
+        }
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition for ``GET /metrics``."""
+        return self.metrics.render()
+
+    def solve(self, payload: Any) -> dict[str, Any]:
+        """Evaluate the MVA for one protocol at one or more sizes.
+
+        Request schema (JSON object)::
+
+            {"protocol": "berkeley" | "1,4",   # required
+             "n": 10 | [2, 6, 10],             # required
+             "sharing": "5",                   # optional, default "5"
+             "workload": {"tau": 3.0, ...},    # optional field overrides
+             "arch": {"block_size": 8, ...}}   # optional field overrides
+        """
+        _require(isinstance(payload, dict), "request body must be a JSON object")
+        _require("protocol" in payload, "missing required field 'protocol'")
+        _require("n" in payload, "missing required field 'n'")
+        protocol = _parse_protocol(payload["protocol"])
+        sizes = _parse_sizes(payload["n"], "n")
+        level = _parse_sharing(payload.get("sharing", "5"))
+        workload: WorkloadParameters = _parse_overrides(
+            payload, "workload", appendix_a_workload(level),
+            WorkloadParameters)
+        arch: ArchitectureParams = _parse_overrides(
+            payload, "arch", ArchitectureParams(), ArchitectureParams)
+
+        tasks = [CellTask(protocol=protocol, sharing_label=level.label,
+                          workload=workload, n=n, arch=arch)
+                 for n in sizes]
+        result = self._executor(jobs=1).run(tasks)
+        return {
+            "protocol": protocol.label,
+            "sharing": level.label,
+            "results": [
+                dict(value.as_row(), cached=was_cached)
+                for value, was_cached in zip(result.cells, result.cached)
+            ],
+            "summary": self._summary_dict(result.summary),
+        }
+
+    def grid(self, payload: Any) -> dict[str, Any]:
+        """Run a sweep; the HTTP face of ``repro grid``.
+
+        Request schema (JSON object)::
+
+            {"protocols": ["write-once", "1,4"],  # required
+             "n": [2, 4, 8],                      # required
+             "sharing": ["1", "5"],               # optional, default all
+             "simulate": false,                   # optional
+             "requests": 40000,                   # optional (simulate)
+             "seed": 1234,                        # optional (simulate)
+             "jobs": 4}                           # optional worker count
+        """
+        _require(isinstance(payload, dict), "request body must be a JSON object")
+        _require("protocols" in payload, "missing required field 'protocols'")
+        _require("n" in payload, "missing required field 'n'")
+        raw_protocols = payload["protocols"]
+        _require(isinstance(raw_protocols, list) and raw_protocols,
+                 "'protocols' must be a non-empty list")
+        protocols = [_parse_protocol(item) for item in raw_protocols]
+        sizes = _parse_sizes(payload["n"], "n")
+        raw_sharing = payload.get("sharing")
+        if raw_sharing is None:
+            levels = list(SharingLevel)
+        else:
+            _require(isinstance(raw_sharing, list) and raw_sharing,
+                     "'sharing' must be a non-empty list")
+            levels = [_parse_sharing(item) for item in raw_sharing]
+        simulate = bool(payload.get("simulate", False))
+        jobs = payload.get("jobs")
+        if jobs is not None:
+            _require(isinstance(jobs, int) and not isinstance(jobs, bool)
+                     and jobs >= 1, "'jobs' must be a positive integer")
+
+        cell_count = (len(protocols) * len(levels) * len(sizes)
+                      * (2 if simulate else 1))
+        _require(cell_count <= self.max_grid_cells,
+                 f"grid of {cell_count} cells exceeds the per-request "
+                 f"limit of {self.max_grid_cells}")
+
+        spec = GridSpec(
+            protocols=protocols, sizes=sizes, sharing_levels=levels,
+            include_simulation=simulate,
+            sim_requests=int(payload.get("requests", 40_000)),
+            sim_seed=int(payload.get("seed", 1234)))
+        result = self._executor(jobs=jobs).run_spec(spec)
+        return {
+            "cells": [dict(value.as_row(), cached=was_cached)
+                      for value, was_cached in zip(result.cells,
+                                                   result.cached)],
+            "summary": self._summary_dict(result.summary),
+        }
+
+    @staticmethod
+    def _summary_dict(summary: Any) -> dict[str, Any]:
+        return {
+            "total": summary.total,
+            "solved": summary.solved,
+            "cache_hits": summary.cache_hits,
+            "cache_hit_rate": round(summary.cache_hit_rate, 6),
+            "retries": summary.retries,
+            "wall_seconds": round(summary.wall_seconds, 6),
+            "jobs": summary.jobs,
+            "mode": summary.mode,
+        }

@@ -1,0 +1,348 @@
+"""Parallel sweep executor: cache-aware, deterministic, fault-tolerant.
+
+Turns a :class:`repro.analysis.grid.GridSpec` into an explicit list of
+independent :class:`CellTask` work items, answers as many as possible
+from the result cache, and fans the rest out over a
+``concurrent.futures`` process pool.  Guarantees:
+
+* **Deterministic ordering** -- results come back in task order (the
+  seed's protocol -> sharing -> size -> (mva, sim) order), whatever the
+  completion order of the pool, so CSV/JSON exports are byte-stable.
+* **Per-cell retry** -- simulation cells that raise are retried with a
+  deterministically perturbed seed (MVA cells are deterministic, so a
+  failure there is a real modelling error and propagates).
+* **Graceful serial fallback** -- if the platform cannot spawn worker
+  processes (sandboxes, restricted containers) the executor silently
+  degrades to in-process serial evaluation with identical results.
+
+Workers return plain dicts (the ``GridCell`` row plus solve metadata),
+which is also exactly what the cache persists, so a cache hit and a
+fresh solve are indistinguishable to callers.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.grid import GridCell, GridSpec
+from repro.core.model import CacheMVAModel
+from repro.core.solver import FixedPointSolver
+from repro.protocols.modifications import ProtocolSpec
+from repro.service.cache import ResultCache
+from repro.service.keys import task_key
+from repro.service.metrics import (
+    DEFAULT_ITERATION_BUCKETS,
+    MetricsRegistry,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.system import simulate
+from repro.workload.parameters import (
+    ArchitectureParams,
+    SharingLevel,
+    WorkloadParameters,
+    appendix_a_workload,
+)
+
+#: Seed perturbation between simulation retry attempts (prime so bumped
+#: seeds never collide with the grid's own ``sim_seed + n`` spacing).
+_RETRY_SEED_STRIDE = 100_003
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One independent model evaluation (everything a worker needs)."""
+
+    protocol: ProtocolSpec
+    sharing_label: str
+    workload: WorkloadParameters
+    n: int
+    arch: ArchitectureParams = field(default_factory=ArchitectureParams)
+    method: str = "mva"  # "mva" | "sim"
+    sim_requests: int = 40_000
+    sim_seed: int = 1234
+    solver: FixedPointSolver = field(default_factory=FixedPointSolver)
+
+    def __post_init__(self) -> None:
+        if self.method not in ("mva", "sim"):
+            raise ValueError(f"method must be 'mva' or 'sim', got {self.method!r}")
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n!r}")
+
+    @property
+    def key(self) -> str:
+        """Content-addressed cache key of this evaluation."""
+        return task_key(self)
+
+
+def tasks_for_spec(spec: GridSpec,
+                   workload_for: Callable[[SharingLevel], WorkloadParameters]
+                   = appendix_a_workload) -> list[CellTask]:
+    """Expand a grid spec into tasks in the canonical sweep order."""
+    tasks: list[CellTask] = []
+    for protocol in spec.protocols:
+        for level in spec.sharing_levels:
+            workload = workload_for(level)
+            for n in spec.sizes:
+                tasks.append(CellTask(
+                    protocol=protocol, sharing_label=level.label,
+                    workload=workload, n=n, arch=spec.arch))
+                if spec.include_simulation:
+                    tasks.append(CellTask(
+                        protocol=protocol, sharing_label=level.label,
+                        workload=workload, n=n, arch=spec.arch,
+                        method="sim", sim_requests=spec.sim_requests,
+                        sim_seed=spec.sim_seed + n))
+    return tasks
+
+
+def evaluate_task(task: CellTask) -> dict[str, Any]:
+    """Solve one cell; the worker-side unit of the process pool.
+
+    Returns the cache value: the ``GridCell`` row under ``"cell"`` plus
+    solve metadata (``elapsed_s``, ``iterations`` for MVA cells).
+    """
+    started = time.perf_counter()
+    if task.method == "mva":
+        model = CacheMVAModel(task.workload, task.protocol, arch=task.arch,
+                              solver=task.solver)
+        report = model.solve(task.n)
+        cell = GridCell(
+            protocol=task.protocol.label,
+            sharing=task.sharing_label,
+            n_processors=task.n,
+            speedup=report.speedup,
+            u_bus=report.u_bus,
+            w_bus=report.w_bus,
+            cycle_time=report.cycle_time,
+            processing_power=report.processing_power,
+        )
+        iterations: int | None = report.iterations
+    else:
+        result = simulate(SimulationConfig(
+            n_processors=task.n, workload=task.workload,
+            protocol=task.protocol, arch=task.arch,
+            seed=task.sim_seed, measured_requests=task.sim_requests))
+        cell = GridCell(
+            protocol=task.protocol.label,
+            sharing=task.sharing_label,
+            n_processors=task.n,
+            speedup=result.speedup,
+            u_bus=result.u_bus,
+            w_bus=result.w_bus,
+            cycle_time=result.mean_cycle_time,
+            processing_power=result.processing_power,
+            method="sim",
+            sim_ci=result.speedup_ci_halfwidth,
+        )
+        iterations = None
+    return {
+        "cell": cell.as_row(),
+        "iterations": iterations,
+        "elapsed_s": time.perf_counter() - started,
+    }
+
+
+def evaluate_with_retry(task: CellTask, retries: int) -> dict[str, Any]:
+    """Worker entry point: retry failing *simulation* cells.
+
+    Each retry perturbs the seed deterministically so a numerically
+    pathological draw is not replayed verbatim.  MVA cells never retry:
+    they are pure functions of the task, so their failures are real.
+    """
+    attempts = retries + 1 if task.method == "sim" else 1
+    last_error: Exception | None = None
+    for attempt in range(attempts):
+        attempt_task = task
+        if attempt > 0:
+            attempt_task = CellTask(
+                protocol=task.protocol, sharing_label=task.sharing_label,
+                workload=task.workload, n=task.n, arch=task.arch,
+                method=task.method, sim_requests=task.sim_requests,
+                sim_seed=task.sim_seed + attempt * _RETRY_SEED_STRIDE,
+                solver=task.solver)
+        try:
+            value = evaluate_task(attempt_task)
+        except Exception as exc:  # noqa: BLE001 - isolate flaky sim cells
+            if attempt + 1 >= attempts:
+                raise
+            last_error = exc
+            continue
+        value["attempts"] = attempt + 1
+        if last_error is not None:
+            value["retried_after"] = repr(last_error)
+        return value
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+@dataclass
+class ExecutorSummary:
+    """What one sweep cost and where the answers came from."""
+
+    total: int
+    solved: int
+    cache_hits: int
+    retries: int
+    wall_seconds: float
+    jobs: int
+    mode: str  # "serial" | "process-pool" | "serial-fallback"
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def line(self) -> str:
+        """One-line human-readable summary (CLI stderr, bench output)."""
+        return (f"{self.total} cells: {self.solved} solved, "
+                f"{self.cache_hits} cached ({self.cache_hit_rate:.0%} hit "
+                f"rate), {self.retries} retried; {self.wall_seconds:.3f}s "
+                f"wall, jobs={self.jobs} ({self.mode})")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Cells in task order plus per-cell provenance and the summary."""
+
+    cells: list[GridCell]
+    cached: list[bool]
+    summary: ExecutorSummary
+
+
+class SweepExecutor:
+    """Runs cell tasks through the cache and (optionally) a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` (default) evaluates serially
+        in-process with results identical to the historical
+        ``run_grid`` loop.
+    cache:
+        Optional :class:`ResultCache`; flushed after every sweep.
+    metrics:
+        Optional :class:`MetricsRegistry` fed with cache hit/miss
+        counters, per-cell solve latency and MVA
+        iterations-to-convergence histograms.
+    sim_retries:
+        Extra attempts for failing simulation cells (per cell).
+    """
+
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 sim_retries: int = 2):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+        if sim_retries < 0:
+            raise ValueError(f"sim_retries must be >= 0, got {sim_retries!r}")
+        self.jobs = jobs
+        self.cache = cache
+        self.metrics = metrics
+        self.sim_retries = sim_retries
+
+    # -- public API ------------------------------------------------------
+
+    def run_spec(self, spec: GridSpec,
+                 workload_for: Callable[[SharingLevel], WorkloadParameters]
+                 = appendix_a_workload) -> SweepResult:
+        """Expand ``spec`` and run every cell."""
+        return self.run(tasks_for_spec(spec, workload_for))
+
+    def run(self, tasks: Sequence[CellTask]) -> SweepResult:
+        """Evaluate ``tasks``; results come back in task order."""
+        started = time.perf_counter()
+        values: dict[int, dict[str, Any]] = {}
+        cached_flags = [False] * len(tasks)
+        pending: list[tuple[int, CellTask]] = []
+        for index, task in enumerate(tasks):
+            hit = self.cache.get(task.key) if self.cache is not None else None
+            if hit is not None:
+                values[index] = hit
+                cached_flags[index] = True
+            else:
+                pending.append((index, task))
+        self._count("repro_cache_hits_total",
+                    "Sweep cells answered from the result cache.",
+                    sum(cached_flags))
+        self._count("repro_cache_misses_total",
+                    "Sweep cells that required a fresh solve.", len(pending))
+
+        mode = "serial"
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                solved, mode = self._run_parallel(pending)
+            else:
+                solved = {index: evaluate_with_retry(task, self.sim_retries)
+                          for index, task in pending}
+            values.update(solved)
+            for index, task in pending:
+                value = solved[index]
+                if self.cache is not None:
+                    self.cache.put(task.key, value)
+                self._record_solve(task, value)
+        if self.cache is not None:
+            self.cache.flush()
+
+        cells = [GridCell(**values[index]["cell"])
+                 for index in range(len(tasks))]
+        retries = sum(values[index].get("attempts", 1) - 1
+                      for index, _ in pending)
+        summary = ExecutorSummary(
+            total=len(tasks), solved=len(pending),
+            cache_hits=sum(cached_flags), retries=retries,
+            wall_seconds=time.perf_counter() - started,
+            jobs=self.jobs, mode=mode)
+        return SweepResult(cells=cells, cached=cached_flags, summary=summary)
+
+    # -- internals -------------------------------------------------------
+
+    def _run_parallel(self, pending: list[tuple[int, CellTask]],
+                      ) -> tuple[dict[int, dict[str, Any]], str]:
+        """Fan out over a process pool; degrade to serial if the platform
+        cannot give us worker processes."""
+        solved: dict[int, dict[str, Any]] = {}
+        try:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = {
+                    pool.submit(evaluate_with_retry, task, self.sim_retries):
+                    index for index, task in pending}
+                for future in as_completed(futures):
+                    solved[futures[future]] = future.result()
+            return solved, "process-pool"
+        except (OSError, PermissionError, BrokenExecutor):
+            remaining = [(index, task) for index, task in pending
+                         if index not in solved]
+            for index, task in remaining:
+                solved[index] = evaluate_with_retry(task, self.sim_retries)
+            return solved, "serial-fallback"
+
+    def _count(self, name: str, help_text: str, amount: int) -> None:
+        if self.metrics is not None and amount:
+            self.metrics.counter(name, help_text).inc(amount)
+
+    def _record_solve(self, task: CellTask, value: dict[str, Any]) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "repro_cells_solved_total",
+            "Cells solved fresh (not served from cache).",
+        ).labels(method=task.method).inc()
+        self.metrics.histogram(
+            "repro_solve_latency_seconds",
+            "Per-cell solve wall time.",
+        ).labels(method=task.method).observe(value.get("elapsed_s", 0.0))
+        attempts = value.get("attempts", 1)
+        if attempts > 1:
+            self.metrics.counter(
+                "repro_sim_retries_total",
+                "Simulation cells that needed retry attempts.",
+            ).inc(attempts - 1)
+        iterations = value.get("iterations")
+        if iterations is not None:
+            self.metrics.histogram(
+                "repro_solver_iterations",
+                "Fixed-point sweeps to convergence (MVA cells).",
+                buckets=DEFAULT_ITERATION_BUCKETS,
+            ).observe(iterations)

@@ -1,0 +1,135 @@
+"""Stdlib-only HTTP JSON API over :class:`repro.service.app.ModelService`.
+
+``http.server`` is all we need: the heavy lifting (process-pool fan-out)
+happens in the executor, so a :class:`ThreadingHTTPServer` front -- one
+thread per connection -- comfortably serves interactive exploration
+traffic without any third-party framework.
+
+Routes::
+
+    GET  /healthz   liveness JSON
+    GET  /metrics   Prometheus text exposition
+    POST /solve     one protocol, one or more sizes
+    POST /grid      full sweep (protocols x sharing x N)
+
+Errors are JSON: ``{"error": "..."}`` with a 400 for malformed bodies
+or parameters, 404 for unknown routes, 405 for wrong methods and 500
+for unexpected failures.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.service.app import ModelService, ServiceError
+
+_LOG = logging.getLogger(__name__)
+
+#: Reject request bodies over this size before reading them fully.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ModelService`."""
+
+    daemon_threads = True
+
+    def __init__(self, service: ModelService, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.service = service
+        super().__init__((host, port), _ServiceRequestHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- routing ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send_json(200, service.health())
+        elif self.path == "/metrics":
+            self._send_text(200, service.metrics_text(),
+                            content_type="text/plain; version=0.0.4; "
+                                         "charset=utf-8")
+        elif self.path in ("/solve", "/grid"):
+            self._send_json(405, {"error": f"{self.path} requires POST"})
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        if self.path == "/solve":
+            handler = service.solve
+        elif self.path == "/grid":
+            handler = service.grid
+        elif self.path in ("/healthz", "/metrics"):
+            self._send_json(405, {"error": f"{self.path} requires GET"})
+            return
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            payload = self._read_json_body()
+            response = handler(payload)
+        except ServiceError as exc:
+            self._send_json(exc.status, {"error": exc.message})
+        except Exception as exc:  # noqa: BLE001 - must answer the client
+            _LOG.exception("unhandled error serving %s", self.path)
+            self._send_json(500, {"error": f"internal error: {exc}"})
+        else:
+            self._send_json(200, response)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _read_json_body(self) -> Any:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError as exc:
+            raise ServiceError(400, "bad Content-Length header") from exc
+        if length <= 0:
+            raise ServiceError(400, "empty request body (expected JSON)")
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(413, "request body too large")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise ServiceError(400, f"request body is not valid JSON: "
+                                    f"{exc}") from exc
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        self._send_text(status, json.dumps(payload),
+                        content_type="application/json")
+
+    def _send_text(self, status: int, body: str,
+                   content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        _LOG.debug("%s - %s", self.address_string(), format % args)
+
+
+def start_server(service: ModelService, host: str = "127.0.0.1",
+                 port: int = 0) -> ServiceHTTPServer:
+    """Bind a server (``port=0`` picks an ephemeral port).
+
+    The caller drives it: ``serve_forever()`` to block (the CLI), or a
+    background thread + ``shutdown()`` for tests and embedding.
+    """
+    return ServiceHTTPServer(service, host=host, port=port)

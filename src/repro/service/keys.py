@@ -1,0 +1,84 @@
+"""Content-addressed cache keys for model evaluations.
+
+A solved cell is fully determined by (workload, protocol, architecture,
+system size, solver settings, evaluation method).  The functions here
+reduce that tuple to a canonical JSON document and hash it, so that
+*equal-but-distinct* dataclass instances -- a ``WorkloadParameters``
+built in another process, an identical ``ProtocolSpec`` constructed
+from a different modification order -- map to the same key.
+
+Canonicalization rules:
+
+* dataclasses  -> ``{"field": value, ...}`` in field order via
+  :func:`dataclasses.asdict` semantics (recursively canonicalized);
+* enums        -> their ``value``;
+* sets         -> sorted lists;
+* floats       -> JSON's shortest round-trip representation (Python's
+  ``repr`` semantics), so ``0.5`` hashes identically everywhere;
+* dict keys    -> sorted (``sort_keys=True``).
+
+The hash is SHA-256 over the UTF-8 canonical document, hex-encoded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.service.executor import CellTask
+
+#: Bump when the solved-cell payload schema changes so stale persistent
+#: stores never serve rows with missing/renamed fields.
+SCHEMA_VERSION = 1
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to JSON-representable canonical data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: canonicalize(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, enum.Enum):
+        return canonicalize(obj.value)
+    if isinstance(obj, (frozenset, set)):
+        return sorted(canonicalize(item) for item in obj)
+    if isinstance(obj, dict):
+        return {str(key): canonicalize(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__!r} for a cache key")
+
+
+def canonical_key(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
+    document = json.dumps(canonicalize(payload), sort_keys=True,
+                          separators=(",", ":"))
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+
+def task_key(task: "CellTask") -> str:
+    """The cache key of one executor cell task.
+
+    Includes the schema version and, for simulation cells, the run
+    length and seed (two simulations of different length are different
+    results; MVA cells are seed-free).
+    """
+    payload: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "method": task.method,
+        "workload": task.workload,
+        "protocol": {"mods": task.protocol.mod_numbers,
+                     "label": task.protocol.label},
+        "arch": task.arch,
+        "n": task.n,
+        "solver": task.solver,
+        "sharing": task.sharing_label,
+    }
+    if task.method == "sim":
+        payload["sim"] = {"requests": task.sim_requests, "seed": task.sim_seed}
+    return canonical_key(payload)

@@ -1,0 +1,261 @@
+"""A small metrics registry: counters and histograms, Prometheus text.
+
+No third-party client library -- the service only needs three things:
+monotonically increasing counters (cache hits/misses, requests served),
+cumulative histograms (solve latency, iterations-to-convergence, fed
+from :class:`repro.core.solver.SolverDiagnostics`), and a plain-text
+exposition for ``GET /metrics`` in the Prometheus format so any
+standard scraper can consume it.
+
+Metrics are families: ``registry.counter("x_total").labels(code="200")``
+returns the child series for that label set; calling ``inc``/``observe``
+on the family itself uses the label-free series.  All mutation is
+thread-safe (the HTTP server is threaded).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from collections.abc import Sequence
+from typing import Any
+
+#: Latency buckets (seconds): microseconds for MVA solves up to tens of
+#: seconds for long simulation cells.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+#: Iteration buckets: the paper converges "within 15 iterations"; the
+#: tail covers damped pathological inputs.
+DEFAULT_ITERATION_BUCKETS: tuple[float, ...] = (
+    1, 2, 3, 4, 5, 8, 10, 15, 20, 30, 50, 100, 200, 500)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integers without a trailing ``.0``."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+class Counter:
+    """One monotonically increasing series."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """One cumulative histogram series with fixed upper bounds."""
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._lock = threading.Lock()
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +Inf bucket last
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative_counts(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self._counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self._counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket bounds (upper-bound biased)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        for bound, cumulative in self.cumulative_counts():
+            if cumulative >= target:
+                return bound
+        return float("inf")  # pragma: no cover - cumulative ends at count
+
+
+class _Family:
+    """A named metric with zero or more labelled child series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+        self._children: dict[tuple[tuple[str, str], ...], Any] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self) -> Any:
+        raise NotImplementedError
+
+    def labels(self, **labels: str) -> Any:
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    @property
+    def _default(self) -> Any:
+        return self.labels()
+
+    def _series(self) -> list[tuple[tuple[tuple[str, str], ...], Any]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class CounterFamily(_Family):
+    kind = "counter"
+
+    def _make_child(self) -> Counter:
+        return Counter()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    @property
+    def value(self) -> float:
+        """Sum over every labelled series."""
+        return sum(child.value for _, child in self._series())
+
+    def render(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} {self.kind}"]
+        for labels, child in self._series() or [((), Counter())]:
+            lines.append(f"{self.name}{_format_labels(labels)} "
+                         f"{_format_value(child.value)}")
+        return lines
+
+
+class HistogramFamily(_Family):
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 buckets: Sequence[float]) -> None:
+        super().__init__(name, help_text)
+        self._buckets = tuple(buckets)
+
+    def _make_child(self) -> Histogram:
+        return Histogram(self._buckets)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+    @property
+    def count(self) -> int:
+        return sum(child.count for _, child in self._series())
+
+    @property
+    def sum(self) -> float:
+        return sum(child.sum for _, child in self._series())
+
+    def render(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} {self.kind}"]
+        for labels, child in self._series() or [((), Histogram(self._buckets))]:
+            for bound, cumulative in child.cumulative_counts():
+                le = "+Inf" if bound == float("inf") else _format_value(bound)
+                lines.append(f"{self.name}_bucket"
+                             f"{_format_labels(labels, (('le', le),))} "
+                             f"{cumulative}")
+            lines.append(f"{self.name}_sum{_format_labels(labels)} "
+                         f"{_format_value(child.sum)}")
+            lines.append(f"{self.name}_count{_format_labels(labels)} "
+                         f"{child.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Create-or-get families by name; render the whole exposition."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def counter(self, name: str, help_text: str = "") -> CounterFamily:
+        return self._family(CounterFamily, name, help_text)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                  ) -> HistogramFamily:
+        return self._family(HistogramFamily, name, help_text, buckets)
+
+    def _family(self, cls: type, name: str, help_text: str,
+                *args: Any) -> Any:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help_text, *args)
+                self._families[name] = family
+            elif not isinstance(family, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}")
+            return family
+
+    def render(self) -> str:
+        """The Prometheus text exposition (version 0.0.4)."""
+        with self._lock:
+            families = [self._families[name]
+                        for name in sorted(self._families)]
+        lines: list[str] = []
+        for family in families:
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self) -> dict[str, float | int]:
+        """Flat {name: total} view for programmatic assertions."""
+        with self._lock:
+            families = dict(self._families)
+        out: dict[str, float | int] = {}
+        for name, family in sorted(families.items()):
+            if isinstance(family, CounterFamily):
+                out[name] = family.value
+            elif isinstance(family, HistogramFamily):
+                out[f"{name}_count"] = family.count
+                out[f"{name}_sum"] = family.sum
+        return out

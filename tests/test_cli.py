@@ -140,3 +140,86 @@ class TestCommands:
         import json
         data = json.loads(target.read_text())
         assert data[0]["protocol"] == "Dragon"
+
+
+class TestGridServiceFlags:
+    """--jobs / --cache route the grid through the service executor."""
+
+    BASE = ["grid", "--protocols", "wo", "1", "-n", "2", "4"]
+
+    def test_default_run_has_no_summary_on_stderr(self, capsys):
+        assert main(self.BASE) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+
+    def test_jobs_output_is_byte_identical_to_serial(self, capsys):
+        assert main(self.BASE) == 0
+        serial = capsys.readouterr().out
+        assert main(self.BASE + ["--jobs", "2"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial
+        assert "12 cells" in captured.err  # sweep summary on stderr
+
+    def test_cache_reruns_solve_nothing(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        assert main(self.BASE + ["--cache", str(cache)]) == 0
+        first = capsys.readouterr()
+        assert "12 solved, 0 cached" in first.err
+        assert main(self.BASE + ["--cache", str(cache)]) == 0
+        second = capsys.readouterr()
+        assert "0 solved, 12 cached (100% hit rate)" in second.err
+        assert second.out == first.out
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+        assert args.jobs == 1
+        assert args.cache is None
+
+
+class TestServeSubcommand:
+    def test_serve_answers_solve_and_healthz(self, tmp_path):
+        """`repro serve` on an ephemeral port answers POST /solve with
+        the same speedup the `solve` subcommand prints."""
+        import json
+        import os
+        import re
+        import subprocess
+        import sys as _sys
+        import urllib.request
+
+        env = dict(os.environ)
+        src = str(__import__("pathlib").Path(__file__).resolve()
+                  .parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONUNBUFFERED"] = "1"
+        process = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://[\d.]+:\d+", banner)
+            assert match, f"no listen URL in banner: {banner!r}"
+            url = match.group(0)
+            with urllib.request.urlopen(url + "/healthz", timeout=10) as resp:
+                assert resp.status == 200
+                assert json.loads(resp.read())["status"] == "ok"
+            request = urllib.request.Request(
+                url + "/solve",
+                data=json.dumps({"protocol": "berkeley", "n": 10}).encode(),
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                payload = json.loads(resp.read())
+            from repro.core.model import CacheMVAModel
+            from repro.protocols.family import PROTOCOLS
+            from repro.workload.parameters import (
+                SharingLevel, appendix_a_workload)
+            expected = CacheMVAModel(
+                appendix_a_workload(SharingLevel.FIVE_PERCENT),
+                PROTOCOLS["berkeley"]).speedup(10)
+            assert payload["results"][0]["speedup"] == pytest.approx(expected)
+        finally:
+            process.terminate()
+            process.wait(timeout=10)

@@ -1,0 +1,167 @@
+"""Tests for the content-addressed result cache and its keys."""
+
+import json
+
+import pytest
+
+from repro.protocols.modifications import ProtocolSpec
+from repro.service.cache import ResultCache
+from repro.service.executor import CellTask
+from repro.service.keys import canonical_key, canonicalize, task_key
+from repro.workload.parameters import (
+    ArchitectureParams,
+    SharingLevel,
+    WorkloadParameters,
+    appendix_a_workload,
+)
+
+
+def _task(**overrides):
+    defaults = dict(
+        protocol=ProtocolSpec.of(1, 4),
+        sharing_label="5%",
+        workload=appendix_a_workload(SharingLevel.FIVE_PERCENT),
+        n=8,
+    )
+    defaults.update(overrides)
+    return CellTask(**defaults)
+
+
+class TestCanonicalize:
+    def test_dataclasses_become_field_dicts(self):
+        data = canonicalize(ArchitectureParams())
+        assert data["block_size"] == 4
+        assert data["memory_latency"] == 3.0
+
+    def test_enums_become_values(self):
+        assert canonicalize(SharingLevel.FIVE_PERCENT) == 0.05
+
+    def test_sets_are_sorted(self):
+        assert canonicalize(frozenset({3, 1, 2})) == [1, 2, 3]
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonicalize(object())
+
+    def test_key_is_sha256_hex(self):
+        key = canonical_key({"a": 1})
+        assert len(key) == 64
+        int(key, 16)  # hex-decodable
+
+
+class TestKeyStability:
+    def test_equal_but_distinct_instances_share_a_key(self):
+        """Two independently built, value-equal tasks must collide."""
+        first = _task(workload=appendix_a_workload(SharingLevel.FIVE_PERCENT))
+        second = _task(workload=WorkloadParameters(
+            p_private=0.95, p_sro=0.03, p_sw=0.02))
+        assert first is not second
+        assert task_key(first) == task_key(second)
+
+    def test_mod_order_does_not_matter(self):
+        assert (task_key(_task(protocol=ProtocolSpec.of(1, 4)))
+                == task_key(_task(protocol=ProtocolSpec.of(4, 1))))
+
+    def test_distinct_inputs_get_distinct_keys(self):
+        base = _task()
+        assert task_key(base) != task_key(_task(n=10))
+        assert task_key(base) != task_key(_task(protocol=ProtocolSpec.of(1)))
+        assert task_key(base) != task_key(_task(
+            workload=appendix_a_workload(SharingLevel.ONE_PERCENT),
+            sharing_label="1%"))
+        assert task_key(base) != task_key(_task(
+            arch=ArchitectureParams(block_size=8)))
+
+    def test_sim_key_includes_seed_and_requests(self):
+        sim = _task(method="sim", sim_seed=1, sim_requests=100)
+        assert task_key(sim) != task_key(_task(method="sim", sim_seed=2,
+                                               sim_requests=100))
+        assert task_key(sim) != task_key(_task(method="sim", sim_seed=1,
+                                               sim_requests=200))
+
+    def test_mva_key_ignores_sim_settings(self):
+        """MVA cells are seed-free: sim knobs must not fragment the key."""
+        assert (task_key(_task(sim_seed=1)) == task_key(_task(sim_seed=99)))
+
+
+class TestLRU:
+    def test_hit_miss_accounting(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.get("a")           # refresh "a": "b" is now the LRU tail
+        cache.put("c", {"v": 3})
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_overwrite_does_not_evict(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("a", {"v": 2})
+        cache.put("b", {"v": 3})
+        assert len(cache) == 2
+        assert cache.get("a") == {"v": 2}
+        assert cache.stats.evictions == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+
+class TestDiskStore:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        first = ResultCache(path=path)
+        first.put("key-1", {"cell": {"speedup": 2.5}})
+        first.flush()
+        second = ResultCache(path=path)
+        assert second.get("key-1") == {"cell": {"speedup": 2.5}}
+        assert len(second) == 1
+
+    def test_flush_without_path_is_noop(self):
+        ResultCache().flush()  # must not raise
+
+    def test_missing_file_starts_empty(self, tmp_path):
+        cache = ResultCache(path=tmp_path / "absent.json")
+        assert len(cache) == 0
+
+    def test_corrupt_file_starts_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{ not json")
+        assert len(ResultCache(path=path)) == 0
+
+    def test_wrong_schema_ignored(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"format": "repro.service.cache",
+                                    "schema": -1,
+                                    "entries": {"k": {"v": 1}}}))
+        assert len(ResultCache(path=path)) == 0
+
+    def test_load_respects_capacity(self, tmp_path):
+        path = tmp_path / "cache.json"
+        big = ResultCache(capacity=10, path=path)
+        for i in range(10):
+            big.put(f"k{i}", {"v": i})
+        big.flush()
+        small = ResultCache(capacity=3, path=path)
+        assert len(small) == 3
+
+    def test_flush_is_atomic_and_idempotent(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path=path)
+        cache.put("k", {"v": 1})
+        cache.flush()
+        before = path.read_text()
+        cache.flush()  # nothing dirty: file untouched
+        assert path.read_text() == before
+        assert not list(tmp_path.glob("*.tmp"))

@@ -1,0 +1,175 @@
+"""Tests for the parallel sweep executor."""
+
+import pytest
+
+import repro.service.executor as executor_module
+from repro.analysis.grid import GridSpec, run_grid
+from repro.protocols.modifications import ProtocolSpec
+from repro.service.cache import ResultCache
+from repro.service.executor import (
+    CellTask,
+    SweepExecutor,
+    evaluate_with_retry,
+    tasks_for_spec,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+
+@pytest.fixture()
+def spec():
+    return GridSpec(
+        protocols=[ProtocolSpec(), ProtocolSpec.of(1)],
+        sizes=[2, 8],
+        sharing_levels=[SharingLevel.FIVE_PERCENT],
+    )
+
+
+class TestTaskExpansion:
+    def test_canonical_order(self, spec):
+        tasks = tasks_for_spec(spec)
+        assert [(t.protocol.label, t.n) for t in tasks] == [
+            ("Write-Once", 2), ("Write-Once", 8), ("WO+1", 2), ("WO+1", 8)]
+        assert all(t.method == "mva" for t in tasks)
+
+    def test_sim_tasks_follow_their_mva_cell(self):
+        spec = GridSpec(protocols=[ProtocolSpec()], sizes=[2, 4],
+                        sharing_levels=[SharingLevel.FIVE_PERCENT],
+                        include_simulation=True, sim_seed=50)
+        tasks = tasks_for_spec(spec)
+        assert [(t.method, t.n) for t in tasks] == [
+            ("mva", 2), ("sim", 2), ("mva", 4), ("sim", 4)]
+        # the seed's per-cell seeding (sim_seed + n) is preserved
+        assert [t.sim_seed for t in tasks if t.method == "sim"] == [52, 54]
+
+    def test_task_validation(self):
+        workload = appendix_a_workload(SharingLevel.FIVE_PERCENT)
+        with pytest.raises(ValueError):
+            CellTask(protocol=ProtocolSpec(), sharing_label="5%",
+                     workload=workload, n=0)
+        with pytest.raises(ValueError):
+            CellTask(protocol=ProtocolSpec(), sharing_label="5%",
+                     workload=workload, n=2, method="petri")
+
+
+class TestDeterminism:
+    def test_serial_matches_run_grid(self, spec):
+        rows = [c.as_row() for c in run_grid(spec)]
+        result = SweepExecutor(jobs=1).run_spec(spec)
+        assert [c.as_row() for c in result.cells] == rows
+        assert result.summary.mode == "serial"
+
+    def test_parallel_matches_serial(self, spec):
+        rows = [c.as_row() for c in run_grid(spec)]
+        result = SweepExecutor(jobs=2).run_spec(spec)
+        assert [c.as_row() for c in result.cells] == rows
+        assert result.summary.mode in ("process-pool", "serial-fallback")
+
+    def test_run_grid_accepts_an_executor(self, spec):
+        cache = ResultCache()
+        cells = run_grid(spec, executor=SweepExecutor(cache=cache))
+        assert [c.as_row() for c in run_grid(spec)] == \
+            [c.as_row() for c in cells]
+        assert len(cache) == 4
+
+
+class TestCaching:
+    def test_second_sweep_is_all_hits(self, spec):
+        executor = SweepExecutor(cache=ResultCache())
+        first = executor.run_spec(spec)
+        second = executor.run_spec(spec)
+        assert first.summary.solved == 4
+        assert second.summary.solved == 0
+        assert second.summary.cache_hits == 4
+        assert second.summary.cache_hit_rate == 1.0
+        assert all(second.cached)
+        assert [c.as_row() for c in first.cells] == \
+            [c.as_row() for c in second.cells]
+
+    def test_cache_survives_process_boundaries(self, spec, tmp_path):
+        """A parallel sweep fills a disk cache a later serial run reads."""
+        path = tmp_path / "cells.json"
+        SweepExecutor(jobs=2, cache=ResultCache(path=path)).run_spec(spec)
+        rerun = SweepExecutor(cache=ResultCache(path=path)).run_spec(spec)
+        assert rerun.summary.solved == 0
+        assert rerun.summary.cache_hit_rate == 1.0
+
+    def test_metrics_fed(self, spec):
+        registry = MetricsRegistry()
+        executor = SweepExecutor(cache=ResultCache(), metrics=registry)
+        executor.run_spec(spec)
+        executor.run_spec(spec)
+        snapshot = registry.snapshot()
+        assert snapshot["repro_cache_misses_total"] == 4
+        assert snapshot["repro_cache_hits_total"] == 4
+        assert snapshot["repro_cells_solved_total"] == 4
+        assert snapshot["repro_solve_latency_seconds_count"] == 4
+        # every MVA cell feeds the iterations histogram
+        assert snapshot["repro_solver_iterations_count"] == 4
+
+
+class TestRetry:
+    def _flaky_simulate(self, failures):
+        calls = {"n": 0}
+        real_simulate = executor_module.simulate
+
+        def fake(config):
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise RuntimeError(f"transient failure {calls['n']}")
+            return real_simulate(config)
+        return fake, calls
+
+    def _sim_task(self):
+        return CellTask(
+            protocol=ProtocolSpec(), sharing_label="5%",
+            workload=appendix_a_workload(SharingLevel.FIVE_PERCENT),
+            n=2, method="sim", sim_requests=2_000, sim_seed=7)
+
+    def test_sim_cell_retries_then_succeeds(self, monkeypatch):
+        fake, calls = self._flaky_simulate(failures=2)
+        monkeypatch.setattr(executor_module, "simulate", fake)
+        value = evaluate_with_retry(self._sim_task(), retries=2)
+        assert calls["n"] == 3
+        assert value["attempts"] == 3
+        assert "transient failure" in value["retried_after"]
+
+    def test_sim_cell_exhausts_retries(self, monkeypatch):
+        fake, _ = self._flaky_simulate(failures=10)
+        monkeypatch.setattr(executor_module, "simulate", fake)
+        with pytest.raises(RuntimeError, match="transient failure 3"):
+            evaluate_with_retry(self._sim_task(), retries=2)
+
+    def test_mva_cells_never_retry(self, monkeypatch):
+        def boom(task):
+            raise RuntimeError("modelling error")
+        monkeypatch.setattr(executor_module, "evaluate_task", boom)
+        task = CellTask(protocol=ProtocolSpec(), sharing_label="5%",
+                        workload=appendix_a_workload(
+                            SharingLevel.FIVE_PERCENT), n=2)
+        with pytest.raises(RuntimeError, match="modelling error"):
+            evaluate_with_retry(task, retries=5)
+
+    def test_executor_counts_retries(self, monkeypatch):
+        fake, _ = self._flaky_simulate(failures=1)
+        monkeypatch.setattr(executor_module, "simulate", fake)
+        result = SweepExecutor(jobs=1).run([self._sim_task()])
+        assert result.summary.retries == 1
+
+
+class TestSerialFallback:
+    def test_pool_failure_degrades_to_serial(self, spec, monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise OSError("no processes for you")
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor",
+                            broken_pool)
+        rows = [c.as_row() for c in run_grid(spec)]
+        result = SweepExecutor(jobs=4).run_spec(spec)
+        assert result.summary.mode == "serial-fallback"
+        assert [c.as_row() for c in result.cells] == rows
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(jobs=0)
+        with pytest.raises(ValueError):
+            SweepExecutor(sim_retries=-1)

@@ -1,0 +1,184 @@
+"""Tests for the HTTP JSON API (ephemeral-port servers, stdlib client)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.model import CacheMVAModel
+from repro.protocols.family import PROTOCOLS
+from repro.service import ModelService, start_server
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+
+@pytest.fixture()
+def server():
+    server = start_server(ModelService())
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _get(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=10) as resp:
+            return resp.status, resp.headers["Content-Type"], resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers["Content-Type"], exc.read()
+
+
+def _post(server, path, body, raw=False):
+    data = body if raw else json.dumps(body).encode()
+    request = urllib.request.Request(
+        server.url + path, data=data,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestHealthz:
+    def test_ok(self, server):
+        status, content_type, body = _get(server, "/healthz")
+        assert status == 200
+        assert content_type == "application/json"
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0
+
+
+class TestSolve:
+    def test_matches_the_solve_subcommand(self, server):
+        """POST /solve returns exactly what `repro solve` computes."""
+        status, payload = _post(server, "/solve",
+                                {"protocol": "berkeley", "n": [4, 10]})
+        assert status == 200
+        expected = CacheMVAModel(
+            appendix_a_workload(SharingLevel.FIVE_PERCENT),
+            PROTOCOLS["berkeley"])
+        assert payload["protocol"] == "Berkeley"
+        for row, n in zip(payload["results"], [4, 10]):
+            report = expected.solve(n)
+            assert row["n_processors"] == n
+            assert row["speedup"] == pytest.approx(report.speedup)
+            assert row["u_bus"] == pytest.approx(report.u_bus)
+            assert row["cached"] is False
+
+    def test_repeat_request_is_served_from_cache(self, server):
+        body = {"protocol": "1,4", "n": 6, "sharing": "20"}
+        _, first = _post(server, "/solve", body)
+        _, second = _post(server, "/solve", body)
+        assert first["results"][0]["cached"] is False
+        assert second["results"][0]["cached"] is True
+        assert second["summary"]["cache_hit_rate"] == 1.0
+        assert second["results"][0]["speedup"] == \
+            first["results"][0]["speedup"]
+
+    def test_workload_overrides(self, server):
+        status, payload = _post(server, "/solve", {
+            "protocol": "write-once", "n": 4, "workload": {"tau": 5.0}})
+        assert status == 200
+        expected = CacheMVAModel(
+            appendix_a_workload(SharingLevel.FIVE_PERCENT).replace(tau=5.0))
+        assert payload["results"][0]["speedup"] == pytest.approx(
+            expected.speedup(4))
+
+    def test_malformed_json_body_is_400(self, server):
+        status, payload = _post(server, "/solve", b"{not json", raw=True)
+        assert status == 400
+        assert "not valid JSON" in payload["error"]
+
+    def test_missing_fields_are_400(self, server):
+        for body in ({}, {"protocol": "berkeley"}, {"n": 4}):
+            status, payload = _post(server, "/solve", body)
+            assert status == 400
+            assert "missing required field" in payload["error"]
+
+    def test_bad_values_are_400(self, server):
+        cases = [
+            {"protocol": "warp-drive", "n": 4},
+            {"protocol": "berkeley", "n": 0},
+            {"protocol": "berkeley", "n": [], },
+            {"protocol": "berkeley", "n": 4, "sharing": "37"},
+            {"protocol": "berkeley", "n": 4, "workload": {"tau": -1}},
+            {"protocol": "berkeley", "n": 4, "workload": {"nope": 1}},
+        ]
+        for body in cases:
+            status, payload = _post(server, "/solve", body)
+            assert status == 400, body
+            assert "error" in payload
+
+    def test_non_object_body_is_400(self, server):
+        status, payload = _post(server, "/solve", [1, 2, 3])
+        assert status == 400
+        assert "JSON object" in payload["error"]
+
+
+class TestGrid:
+    def test_sweep(self, server):
+        status, payload = _post(server, "/grid", {
+            "protocols": ["write-once", "1"], "n": [2, 4],
+            "sharing": ["5"]})
+        assert status == 200
+        assert len(payload["cells"]) == 4
+        assert payload["summary"]["total"] == 4
+        assert [c["protocol"] for c in payload["cells"]] == \
+            ["Write-Once", "Write-Once", "WO+1", "WO+1"]
+
+    def test_cell_limit_enforced(self, server):
+        server.service.max_grid_cells = 3
+        status, payload = _post(server, "/grid", {
+            "protocols": ["write-once"], "n": [1, 2, 4, 8],
+            "sharing": ["5"]})
+        assert status == 400
+        assert "exceeds" in payload["error"]
+
+    def test_missing_protocols_is_400(self, server):
+        status, _ = _post(server, "/grid", {"n": [2]})
+        assert status == 400
+
+
+class TestMetrics:
+    def test_exposition_after_traffic(self, server):
+        _post(server, "/solve", {"protocol": "berkeley", "n": 4})
+        _post(server, "/solve", {"protocol": "berkeley", "n": 4})
+        status, content_type, body = _get(server, "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        text = body.decode()
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert "repro_cache_hits_total 1" in text
+        assert "repro_cache_misses_total 1" in text
+        assert 'repro_cells_solved_total{method="mva"} 1' in text
+        assert "repro_solve_latency_seconds_bucket" in text
+        assert "repro_solver_iterations_count 1" in text
+
+
+class TestRouting:
+    def test_unknown_path_is_404(self, server):
+        status, _, body = _get(server, "/nope")
+        assert status == 404
+        assert "unknown path" in json.loads(body)["error"]
+
+    def test_post_only_routes_reject_get(self, server):
+        status, _, body = _get(server, "/solve")
+        assert status == 405
+        assert "requires POST" in json.loads(body)["error"]
+
+    def test_get_only_routes_reject_post(self, server):
+        status, payload = _post(server, "/healthz", {})
+        assert status == 405
+        assert "requires GET" in payload["error"]
+
+    def test_empty_post_body_is_400(self, server):
+        request = urllib.request.Request(server.url + "/solve", data=b"")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400

@@ -1,0 +1,106 @@
+"""Tests for the metrics registry and its Prometheus exposition."""
+
+import pytest
+
+from repro.service.metrics import (
+    Counter,
+    DEFAULT_ITERATION_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestHistogram:
+    def test_observe_and_cumulate(self):
+        histogram = Histogram(buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 3.0, 7.0, 100.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(110.5)
+        assert histogram.cumulative_counts() == [
+            (1.0, 1), (5.0, 2), (10.0, 3), (float("inf"), 4)]
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        histogram = Histogram(buckets=(1.0, 5.0))
+        histogram.observe(5.0)  # le="5" is inclusive
+        assert histogram.cumulative_counts()[1] == (5.0, 1)
+
+    def test_quantile(self):
+        histogram = Histogram(buckets=(1, 2, 4, 8))
+        for value in (0.5, 1.5, 3, 7):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 2
+        assert histogram.quantile(1.0) == 8
+        assert Histogram(buckets=(1,)).quantile(0.9) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1,)).quantile(1.5)
+
+
+class TestRegistry:
+    def test_create_or_get_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_labels_create_child_series(self):
+        registry = MetricsRegistry()
+        family = registry.counter("req_total", "requests")
+        family.labels(code="200").inc(3)
+        family.labels(code="404").inc()
+        family.labels(code="200").inc()
+        assert family.labels(code="200").value == 4
+        assert family.value == 5
+
+    def test_render_counter_format(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "cache hits").labels(kind="mva").inc(2)
+        text = registry.render()
+        assert "# HELP hits_total cache hits" in text
+        assert "# TYPE hits_total counter" in text
+        assert 'hits_total{kind="mva"} 2' in text
+        assert text.endswith("\n")
+
+    def test_render_histogram_format(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", "latency",
+                                       buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        text = registry.render()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(3)
+        registry.histogram("h", buckets=DEFAULT_ITERATION_BUCKETS).observe(7)
+        snapshot = registry.snapshot()
+        assert snapshot["c_total"] == 3
+        assert snapshot["h_count"] == 1
+        assert snapshot["h_sum"] == 7
