@@ -28,18 +28,34 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 @dataclass(frozen=True)
 class GridCell:
-    """One solved grid point."""
+    """One grid point: a solved cell, or an error row for a failed one.
+
+    A failed cell (``error`` set) carries ``None`` for every numeric
+    measure; it keeps its place in the sweep so exports stay aligned
+    and the failure is visible next to its neighbours instead of
+    killing the whole sweep.
+    """
 
     protocol: str
     sharing: str
     n_processors: int
-    speedup: float
-    u_bus: float
-    w_bus: float
-    cycle_time: float
-    processing_power: float
+    speedup: float | None
+    u_bus: float | None
+    w_bus: float | None
+    cycle_time: float | None
+    processing_power: float | None
     method: str = "mva"
     sim_ci: float | None = None
+    error: str | None = None
+
+    @classmethod
+    def failed(cls, protocol: str, sharing: str, n_processors: int,
+               method: str, error: str) -> "GridCell":
+        """The error row standing in for a cell that could not solve."""
+        return cls(protocol=protocol, sharing=sharing,
+                   n_processors=n_processors, speedup=None, u_bus=None,
+                   w_bus=None, cycle_time=None, processing_power=None,
+                   method=method, error=error)
 
     def as_row(self) -> dict[str, object]:
         return asdict(self)
@@ -87,7 +103,8 @@ def run_grid(spec: GridSpec,
 
 
 _CSV_COLUMNS = ("protocol", "sharing", "n_processors", "method", "speedup",
-                "u_bus", "w_bus", "cycle_time", "processing_power", "sim_ci")
+                "u_bus", "w_bus", "cycle_time", "processing_power", "sim_ci",
+                "error")
 
 
 def to_csv(cells: Iterable[GridCell]) -> str:
@@ -104,7 +121,10 @@ def to_csv(cells: Iterable[GridCell]) -> str:
             elif isinstance(value, float):
                 values.append(f"{value:.6g}")
             else:
-                values.append(str(value))
+                text = str(value)
+                if any(ch in text for ch in ",\"\n"):
+                    text = '"' + text.replace('"', '""') + '"'
+                values.append(text)
         out.write(",".join(values) + "\n")
     return out.getvalue()
 
@@ -118,7 +138,7 @@ def best_protocol_per_cell(cells: Iterable[GridCell]) -> dict[tuple[str, int], s
     """For each (sharing, N), the protocol with the highest MVA speedup."""
     best: dict[tuple[str, int], GridCell] = {}
     for cell in cells:
-        if cell.method != "mva":
+        if cell.method != "mva" or cell.error is not None:
             continue
         key = (cell.sharing, cell.n_processors)
         if key not in best or cell.speedup > best[key].speedup:

@@ -11,6 +11,8 @@ Subcommands:
 * ``hierarchy``-- two-level-bus extension (clusters on a global bus)
 * ``estimate`` -- measure Appendix-A parameters from a synthetic trace
 * ``serve``    -- HTTP JSON evaluation service (cache + process pool)
+* ``stress``   -- robustness sweep over extreme parameter corners with
+  per-cell failure isolation
 """
 
 from __future__ import annotations
@@ -201,7 +203,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_grid(args: argparse.Namespace) -> int:
-    from repro.analysis.grid import GridSpec, run_grid, to_csv, to_json
+    from repro.analysis.grid import GridSpec, to_csv, to_json
+    from repro.service import CellFailedError, ResultCache, SweepExecutor
 
     if args.all_combinations:
         from repro.protocols.modifications import all_combinations
@@ -217,22 +220,33 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     spec = GridSpec(protocols=protocols, sizes=args.n,
                     include_simulation=args.simulate,
                     sim_requests=args.requests)
+    # Everything goes through the service executor; the default
+    # (jobs=1, no cache) is byte-identical to the historical serial
+    # loop.  Per-cell failures become error rows plus a stderr summary;
+    # --strict restores the old raise-on-first-error behaviour.
+    try:
+        cache = ResultCache(path=args.cache) if args.cache else None
+        executor = SweepExecutor(jobs=args.jobs, cache=cache,
+                                 strict=args.strict)
+        result = executor.run_spec(spec)
+    except CellFailedError as exc:  # --strict: fail the whole sweep
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:  # e.g. an unwritable --cache path
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cells = result.cells
     if args.jobs > 1 or args.cache:
-        # The service executor: parallel fan-out and/or a persistent
-        # result cache.  The sweep summary goes to stderr so stdout
-        # stays a clean CSV/JSON document.
-        from repro.service import ResultCache, SweepExecutor
-        try:
-            cache = ResultCache(path=args.cache) if args.cache else None
-            executor = SweepExecutor(jobs=args.jobs, cache=cache)
-            result = executor.run_spec(spec)
-        except OSError as exc:  # e.g. an unwritable --cache path
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        cells = result.cells
+        # Sweep summary on stderr so stdout stays a clean CSV/JSON
+        # document; the default run stays silent, as it always was.
         print(result.summary.line(), file=sys.stderr)
-    else:
-        cells = run_grid(spec)
+    failed = result.summary.failed
+    if failed:
+        for failure in result.failures:
+            print(f"failed cell: {failure.describe()}", file=sys.stderr)
+        print(f"{failed} of {result.summary.total} cells failed; error "
+              "rows exported in place (use --strict to fail fast)",
+              file=sys.stderr)
     payload = to_json(cells) if args.json else to_csv(cells)
     if args.output:
         with open(args.output, "w") as fh:
@@ -240,6 +254,18 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         print(f"wrote {len(cells)} cells to {args.output}")
     else:
         print(payload, end="")
+    return 1 if failed == result.summary.total else 0
+
+
+def _cmd_stress(args: argparse.Namespace) -> int:
+    from repro.analysis.stress import run_stress
+
+    report = run_stress(sizes=tuple(args.n), jobs=args.jobs)
+    print(report.text())
+    if not report.isolated:  # pragma: no cover - invariant violation
+        print("error: a cell failure leaked outside its row",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -361,7 +387,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--cache",
                         help="persistent result-cache JSON file; repeat "
                              "runs reuse previously solved cells")
+    p_grid.add_argument("--strict", action="store_true",
+                        help="abort the sweep on the first failed cell "
+                             "(default: isolate failures as error rows "
+                             "and print a summary to stderr)")
     p_grid.set_defaults(func=_cmd_grid)
+
+    p_stress = sub.add_parser("stress",
+                              help="robustness sweep: all 16 modification "
+                                   "combinations x extreme parameter "
+                                   "corners, with per-cell failure "
+                                   "isolation")
+    p_stress.add_argument("-n", type=int, nargs="+", default=[4, 16, 128],
+                          help="system sizes per corner")
+    p_stress.add_argument("--jobs", type=_positive_int, default=1,
+                          help="worker processes for the sweep")
+    p_stress.set_defaults(func=_cmd_stress)
 
     p_serve = sub.add_parser("serve",
                              help="run the HTTP JSON evaluation service "

@@ -21,7 +21,14 @@ from repro.core.equations import EquationSystem, ModelState
 from repro.core.metrics import PerformanceReport, ResponseBreakdown
 from repro.core.model import CacheMVAModel
 from repro.core.scaled import ScaledSharingMVAModel
-from repro.core.solver import FixedPointSolver, SolverDiagnostics, SolverError
+from repro.core.solver import (
+    DEFAULT_DAMPING_LADDER,
+    FixedPointSolver,
+    SolverDiagnostics,
+    SolverError,
+    SolverWarning,
+    estimate_contraction_rate,
+)
 from repro.core.sensitivity import (
     asymptotic_speedup,
     parameter_sensitivity,
@@ -31,6 +38,7 @@ from repro.core.sensitivity import (
 
 __all__ = [
     "CacheMVAModel",
+    "DEFAULT_DAMPING_LADDER",
     "EquationSystem",
     "FixedPointSolver",
     "ModelState",
@@ -39,7 +47,9 @@ __all__ = [
     "ScaledSharingMVAModel",
     "SolverDiagnostics",
     "SolverError",
+    "SolverWarning",
     "asymptotic_speedup",
+    "estimate_contraction_rate",
     "parameter_sensitivity",
     "speedup_curve",
     "sweep_parameter",

@@ -50,6 +50,15 @@ class PerformanceReport:
     t_interference: float
     iterations: int
     converged: bool
+    #: Damping factor of the sweep that produced the result (1.0 is the
+    #: paper's plain successive substitution).
+    damping: float = 1.0
+    #: True when the solve needed the escalating damping ladder
+    #: (:meth:`repro.core.solver.FixedPointSolver.solve_with_recovery`).
+    recovered: bool = False
+    #: Structured :class:`repro.core.solver.SolverWarning` records
+    #: (saturation knee, damping recovery); empty for a clean solve.
+    warnings: tuple = ()
 
     @property
     def cycle_time(self) -> float:

@@ -55,10 +55,20 @@ class CacheMVAModel:
         """The bound equation system for a given system size."""
         return EquationSystem(self.inputs, n_processors)
 
-    def solve(self, n_processors: int) -> PerformanceReport:
-        """Iterate the equations to a fixed point and report measures."""
+    def solve(self, n_processors: int,
+              recovery: bool = False) -> PerformanceReport:
+        """Iterate the equations to a fixed point and report measures.
+
+        With ``recovery=True`` a non-converged plain iteration is
+        retried down the escalating damping ladder (warm-started), and
+        the report carries the recovery/warning diagnostics; see
+        :meth:`repro.core.solver.FixedPointSolver.solve_with_recovery`.
+        """
         system = self.system(n_processors)
-        state, diagnostics = self.solver.solve(system)
+        if recovery:
+            state, diagnostics = self.solver.solve_with_recovery(system)
+        else:
+            state, diagnostics = self.solver.solve(system)
         assert state.response is not None  # at least one sweep ran
         return PerformanceReport(
             n_processors=n_processors,
@@ -76,6 +86,9 @@ class CacheMVAModel:
             t_interference=system.interference.t_interference,
             iterations=diagnostics.iterations,
             converged=diagnostics.converged,
+            damping=diagnostics.damping,
+            recovered=diagnostics.recovered,
+            warnings=diagnostics.warnings,
         )
 
     def speedup(self, n_processors: int) -> float:

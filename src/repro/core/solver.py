@@ -9,18 +9,57 @@ system analyzed."
 The solver reproduces that scheme (successive substitution from a cold
 start) and adds the engineering a library needs: a convergence
 tolerance, an iteration cap, optional under-relaxation for pathological
-inputs, and a diagnostics trace for the efficiency benchmarks.
+inputs, a diagnostics trace for the efficiency benchmarks, and a
+recovery path (:meth:`FixedPointSolver.solve_with_recovery`) that walks
+an escalating damping ladder when plain successive substitution fails.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 
 from repro.core.equations import EquationSystem, ModelState
 
+#: The escalating under-relaxation schedule tried by
+#: :meth:`FixedPointSolver.solve_with_recovery`: plain successive
+#: substitution first, then progressively heavier damping.  Each rung is
+#: warm-started from the previous rung's last iterate, so partial
+#: progress is never discarded.
+DEFAULT_DAMPING_LADDER: tuple[float, ...] = (1.0, 0.5, 0.25, 0.1)
+
+#: Contraction-rate threshold above which a solve is flagged as sitting
+#: on the saturation knee (the regime where the iteration map's spectral
+#: radius approaches 1 and convergence grinds down).
+SATURATION_KNEE_RATE = 0.98
+
 
 class SolverError(RuntimeError):
-    """Raised when the fixed-point iteration fails to converge."""
+    """Raised when the fixed-point iteration fails to converge.
+
+    ``diagnostics`` (when available) records the failing solve: the
+    damping factors attempted, iterations spent and structured warnings,
+    so callers can report *why* a cell failed instead of just *that* it
+    failed.
+    """
+
+    def __init__(self, message: str,
+                 diagnostics: "SolverDiagnostics | None" = None):
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
+@dataclass(frozen=True)
+class SolverWarning:
+    """A structured, non-fatal observation about one solve."""
+
+    code: str  # "saturation-knee" | "damping-recovery" | "not-converged"
+    message: str
+    contraction_rate: float | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        return {"code": self.code, "message": self.message,
+                "contraction_rate": self.contraction_rate}
 
 
 @dataclass(frozen=True)
@@ -32,6 +71,33 @@ class SolverDiagnostics:
     final_residual: float
     #: R after every sweep, for convergence-behaviour benchmarks.
     trace: tuple[float, ...] = field(default_factory=tuple)
+    #: Residual after every sweep (same length as ``trace``).
+    residual_trace: tuple[float, ...] = field(default_factory=tuple)
+    #: Damping factor of the sweep that produced the result.
+    damping: float = 1.0
+    #: Every damping factor attempted, in order (one entry for a plain
+    #: solve; the walked rungs for a recovery solve).
+    ladder: tuple[float, ...] = field(default_factory=tuple)
+    #: True when the result needed more than the first ladder rung.
+    recovered: bool = False
+    warnings: tuple[SolverWarning, ...] = field(default_factory=tuple)
+
+
+def estimate_contraction_rate(residuals: tuple[float, ...] | list[float],
+                              tail: int = 5) -> float:
+    """Geometric-mean residual ratio over the last ``tail`` sweeps.
+
+    An estimate of the spectral radius of the iteration map's Jacobian
+    near the fixed point; ~1.0 marks the saturation knee.  Returns 0.0
+    when the sequence is too short or already at numerical zero.
+    """
+    ratios = [b / a for a, b in zip(residuals, residuals[1:])
+              if a > 1e-14 and b > 1e-14]
+    window = ratios[-tail:]
+    if not window:
+        return 0.0
+    log_mean = sum(math.log(r) for r in window) / len(window)
+    return math.exp(log_mean)
 
 
 @dataclass(frozen=True)
@@ -79,6 +145,7 @@ class FixedPointSolver:
         """
         state = initial if initial is not None else ModelState()
         trace: list[float] = []
+        residuals: list[float] = []
         residual = float("inf")
         for iteration in range(1, self.max_iterations + 1):
             proposed = system.step(state)
@@ -86,12 +153,16 @@ class FixedPointSolver:
             residual = proposed.distance(state)
             state = proposed
             trace.append(state.cycle_time)
+            residuals.append(residual)
             if residual < self.tolerance:
                 diagnostics = SolverDiagnostics(
                     iterations=iteration,
                     converged=True,
                     final_residual=residual,
                     trace=tuple(trace),
+                    residual_trace=tuple(residuals),
+                    damping=self.damping,
+                    ladder=(self.damping,),
                 )
                 return state, diagnostics
         diagnostics = SolverDiagnostics(
@@ -99,10 +170,93 @@ class FixedPointSolver:
             converged=False,
             final_residual=residual,
             trace=tuple(trace),
+            residual_trace=tuple(residuals),
+            damping=self.damping,
+            ladder=(self.damping,),
         )
         if self.raise_on_divergence:
             raise SolverError(
                 f"fixed point not reached in {self.max_iterations} iterations "
-                f"(residual {residual:.3e}); consider damping < 1"
+                f"(residual {residual:.3e}); consider damping < 1",
+                diagnostics=diagnostics,
+            )
+        return state, diagnostics
+
+    def solve_with_recovery(
+        self,
+        system: EquationSystem,
+        initial: ModelState | None = None,
+        ladder: tuple[float, ...] = DEFAULT_DAMPING_LADDER,
+    ) -> tuple[ModelState, SolverDiagnostics]:
+        """Iterate with an escalating damping ladder on non-convergence.
+
+        The first attempt uses this solver's own ``damping``; each
+        subsequent attempt takes the next *smaller* ladder rung and
+        warm-starts from the last iterate of the previous attempt, so an
+        oscillating iteration is progressively damped rather than
+        replayed from a cold start.  The attempted rungs are recorded in
+        ``SolverDiagnostics.ladder``; a solve that needed more than one
+        rung is marked ``recovered`` and carries a ``damping-recovery``
+        warning.  A measured contraction rate near 1 (the saturation
+        knee) is surfaced as a structured ``saturation-knee`` warning
+        rather than a crash.
+
+        Raises :class:`SolverError` (diagnostics attached) only when
+        every rung fails and ``raise_on_divergence`` is set.
+        """
+        state = initial if initial is not None else ModelState()
+        attempted: list[float] = []
+        total_iterations = 0
+        diag = None
+        factors = [self.damping]
+        factors += [rung for rung in ladder if rung < factors[-1] - 1e-12]
+        for factor in factors:
+            attempt = replace(self, damping=factor,
+                              raise_on_divergence=False)
+            state, diag = attempt.solve(system, initial=state)
+            attempted.append(factor)
+            total_iterations += diag.iterations
+            if diag.converged:
+                rate = estimate_contraction_rate(diag.residual_trace)
+                warnings: list[SolverWarning] = []
+                recovered = len(attempted) > 1
+                if recovered:
+                    warnings.append(SolverWarning(
+                        code="damping-recovery",
+                        message=("converged only after damping ladder "
+                                 f"{attempted} ({total_iterations} total "
+                                 "sweeps, warm-started)"),
+                        contraction_rate=rate))
+                if rate >= SATURATION_KNEE_RATE:
+                    warnings.append(SolverWarning(
+                        code="saturation-knee",
+                        message=(f"contraction rate {rate:.4f} ~ 1: the "
+                                 "system sits on the saturation knee; "
+                                 "results are converged but the iteration "
+                                 "is near its stability limit"),
+                        contraction_rate=rate))
+                diagnostics = replace(
+                    diag, iterations=total_iterations, damping=factor,
+                    ladder=tuple(attempted), recovered=recovered,
+                    warnings=tuple(warnings))
+                return state, diagnostics
+        assert diag is not None
+        rate = estimate_contraction_rate(diag.residual_trace)
+        code = ("saturation-knee" if rate >= SATURATION_KNEE_RATE
+                else "not-converged")
+        diagnostics = replace(
+            diag, iterations=total_iterations, ladder=tuple(attempted),
+            warnings=(SolverWarning(
+                code=code,
+                message=(f"no fixed point after damping ladder {attempted} "
+                         f"({total_iterations} total sweeps, final residual "
+                         f"{diag.final_residual:.3e})"),
+                contraction_rate=rate),))
+        if self.raise_on_divergence:
+            raise SolverError(
+                f"fixed point not reached after damping ladder {attempted} "
+                f"({total_iterations} total sweeps, residual "
+                f"{diag.final_residual:.3e})",
+                diagnostics=diagnostics,
             )
         return state, diagnostics

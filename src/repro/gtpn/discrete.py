@@ -230,7 +230,7 @@ def discrete_coherence_net(n_processors: int, inputs) -> DiscreteTimedNet:
     t_bc = inputs.t_bc
     if abs(t_read - round(t_read)) > 1e-9 or abs(t_bc - round(t_bc)) > 1e-9:
         raise ValueError(
-            f"deterministic chain needs integer bus times, got "
+            "deterministic chain needs integer bus times, got "
             f"t_read={t_read}, t_bc={t_bc}; use a workload with "
             "csupply = rep = 0")
     think_mean = inputs.workload.tau + inputs.arch.t_supply

@@ -136,7 +136,6 @@ class HierarchicalMVAModel:
         interference = inp.cache_interference(k)
 
         w_lb = w_gb = w_mem = q_lb = 0.0
-        r_total = 0.0
         iterations = 0
         converged = False
         response = None
@@ -209,8 +208,8 @@ class HierarchicalMVAModel:
 
             delta = max(abs(w_lb_new - w_lb), abs(w_gb_new - w_gb),
                         abs(w_mem_new - w_mem), abs(q_new - q_lb))
-            w_lb, w_gb, w_mem, q_lb, r_total = (
-                w_lb_new, w_gb_new, w_mem_new, q_new, new_r)
+            w_lb, w_gb, w_mem, q_lb = (
+                w_lb_new, w_gb_new, w_mem_new, q_new)
             if delta < self.tolerance:
                 converged = True
                 break

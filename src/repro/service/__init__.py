@@ -24,8 +24,10 @@ solver into infrastructure that can serve that exploration at scale:
 from repro.service.app import ModelService, ServiceError
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.executor import (
+    CellFailedError,
     CellTask,
     ExecutorSummary,
+    FailedCell,
     SweepExecutor,
     SweepResult,
     tasks_for_spec,
@@ -36,9 +38,11 @@ from repro.service.metrics import Counter, Histogram, MetricsRegistry
 
 __all__ = [
     "CacheStats",
+    "CellFailedError",
     "CellTask",
     "Counter",
     "ExecutorSummary",
+    "FailedCell",
     "Histogram",
     "MetricsRegistry",
     "ModelService",
@@ -51,4 +55,5 @@ __all__ = [
     "canonicalize",
     "start_server",
     "task_key",
+    "tasks_for_spec",
 ]

@@ -44,12 +44,18 @@ DEFAULT_MAX_GRID_CELLS = 4096
 
 
 class ServiceError(Exception):
-    """A client-visible request failure with an HTTP status code."""
+    """A client-visible request failure with an HTTP status code.
 
-    def __init__(self, status: int, message: str):
+    ``details`` (optional) is merged into the JSON error body, so a
+    total sweep failure can still report its per-cell failure records.
+    """
+
+    def __init__(self, status: int, message: str,
+                 details: dict[str, Any] | None = None):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.details = details
 
 
 def _require(condition: bool, message: str) -> None:
@@ -162,13 +168,12 @@ class ModelService:
                           workload=workload, n=n, arch=arch)
                  for n in sizes]
         result = self._executor(jobs=1).run(tasks)
+        self._reject_total_failure(result)
         return {
             "protocol": protocol.label,
             "sharing": level.label,
-            "results": [
-                dict(value.as_row(), cached=was_cached)
-                for value, was_cached in zip(result.cells, result.cached)
-            ],
+            "results": self._cell_rows(result),
+            "failures": [f.as_dict() for f in result.failures],
             "summary": self._summary_dict(result.summary),
         }
 
@@ -218,12 +223,45 @@ class ModelService:
             sim_requests=int(payload.get("requests", 40_000)),
             sim_seed=int(payload.get("seed", 1234)))
         result = self._executor(jobs=jobs).run_spec(spec)
+        self._reject_total_failure(result)
         return {
-            "cells": [dict(value.as_row(), cached=was_cached)
-                      for value, was_cached in zip(result.cells,
-                                                   result.cached)],
+            "cells": self._cell_rows(result),
+            "failures": [f.as_dict() for f in result.failures],
             "summary": self._summary_dict(result.summary),
         }
+
+    # -- response assembly -----------------------------------------------
+
+    @staticmethod
+    def _cell_rows(result: Any) -> list[dict[str, Any]]:
+        """Per-cell rows with status: values, ``cached`` flag, ``error``
+        for failed cells, and solve provenance (``attempts`` /
+        ``effective_seed``) where it differs from the default."""
+        rows = []
+        for value, was_cached, meta in zip(result.cells, result.cached,
+                                           result.meta):
+            row = dict(value.as_row(), cached=was_cached,
+                       status="error" if value.error else "ok")
+            if meta.get("attempts", 1) > 1:
+                row["attempts"] = meta["attempts"]
+            if meta.get("effective_seed") is not None:
+                row["effective_seed"] = meta["effective_seed"]
+            if meta.get("recovered"):
+                row["recovered"] = True
+                row["damping"] = meta.get("damping")
+            rows.append(row)
+        return rows
+
+    @staticmethod
+    def _reject_total_failure(result: Any) -> None:
+        """Per-cell failures are part of a 200 response; only a sweep
+        with *no* surviving cell is a request-level error."""
+        summary = result.summary
+        if summary.total and summary.failed == summary.total:
+            raise ServiceError(
+                500, f"all {summary.total} cells failed",
+                details={"failures": [f.as_dict()
+                                      for f in result.failures]})
 
     @staticmethod
     def _summary_dict(summary: Any) -> dict[str, Any]:
@@ -233,6 +271,8 @@ class ModelService:
             "cache_hits": summary.cache_hits,
             "cache_hit_rate": round(summary.cache_hit_rate, 6),
             "retries": summary.retries,
+            "failed": summary.failed,
+            "recovered": summary.recovered,
             "wall_seconds": round(summary.wall_seconds, 6),
             "jobs": summary.jobs,
             "mode": summary.mode,

@@ -8,16 +8,30 @@ from the result cache, and fans the rest out over a
 * **Deterministic ordering** -- results come back in task order (the
   seed's protocol -> sharing -> size -> (mva, sim) order), whatever the
   completion order of the pool, so CSV/JSON exports are byte-stable.
+* **Per-cell failure isolation** -- a cell that cannot be solved
+  becomes an error row (:class:`FailedCell` + ``GridCell.error``)
+  instead of killing the sweep; every other cell completes exactly as
+  it would in a clean run.  ``strict=True`` restores the historical
+  raise-on-first-error behaviour.
+* **Self-healing MVA cells** -- a non-converged fixed point is retried
+  down the escalating damping ladder (warm-started); recoveries are
+  counted in the summary and metrics.
 * **Per-cell retry** -- simulation cells that raise are retried with a
-  deterministically perturbed seed (MVA cells are deterministic, so a
-  failure there is a real modelling error and propagates).
+  deterministically perturbed seed; the *effective* seed that produced
+  the result is recorded in the cached value so a cache hit stays
+  traceable.
+* **Incremental cache flush** -- the disk store is rewritten after
+  every fresh solve, so an interrupted sweep keeps its completed cells.
 * **Graceful serial fallback** -- if the platform cannot spawn worker
   processes (sandboxes, restricted containers) the executor silently
   degrades to in-process serial evaluation with identical results.
 
 Workers return plain dicts (the ``GridCell`` row plus solve metadata),
 which is also exactly what the cache persists, so a cache hit and a
-fresh solve are indistinguishable to callers.
+fresh solve are indistinguishable to callers.  A worker never raises:
+an unsolvable cell comes back as ``{"error": {...}}`` and is resolved
+to an error row (or, under ``strict``, a :class:`CellFailedError`) on
+the consumer side.
 """
 
 from __future__ import annotations
@@ -78,6 +92,54 @@ class CellTask:
         return task_key(self)
 
 
+@dataclass(frozen=True)
+class FailedCell:
+    """The structured record of one cell that could not be solved."""
+
+    index: int
+    protocol: str
+    sharing: str
+    n_processors: int
+    method: str
+    error_type: str
+    message: str
+    attempts: int = 1
+    #: Damping factors the MVA recovery ladder attempted before giving
+    #: up (empty for simulation cells).
+    ladder: tuple[float, ...] = ()
+
+    def describe(self) -> str:
+        """One line for stderr summaries and logs."""
+        ladder = (f" after damping ladder {list(self.ladder)}"
+                  if self.ladder else "")
+        attempts = (f" ({self.attempts} attempts)"
+                    if self.attempts > 1 else "")
+        return (f"{self.protocol} {self.sharing} N={self.n_processors} "
+                f"[{self.method}]: {self.error_type}: "
+                f"{self.message}{ladder}{attempts}")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "protocol": self.protocol,
+            "sharing": self.sharing,
+            "n_processors": self.n_processors,
+            "method": self.method,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "ladder": list(self.ladder),
+        }
+
+
+class CellFailedError(RuntimeError):
+    """Raised by a ``strict`` sweep on the first unsolvable cell."""
+
+    def __init__(self, failure: FailedCell):
+        super().__init__(failure.describe())
+        self.failure = failure
+
+
 def tasks_for_spec(spec: GridSpec,
                    workload_for: Callable[[SharingLevel], WorkloadParameters]
                    = appendix_a_workload) -> list[CellTask]:
@@ -103,13 +165,16 @@ def evaluate_task(task: CellTask) -> dict[str, Any]:
     """Solve one cell; the worker-side unit of the process pool.
 
     Returns the cache value: the ``GridCell`` row under ``"cell"`` plus
-    solve metadata (``elapsed_s``, ``iterations`` for MVA cells).
+    solve metadata -- ``elapsed_s``; ``iterations``, ``damping``,
+    ``recovered`` and ``warnings`` for MVA cells (the recovery-ladder
+    diagnostics); ``effective_seed`` for simulation cells (the seed
+    that actually produced the sample, which a retry may have bumped).
     """
     started = time.perf_counter()
     if task.method == "mva":
         model = CacheMVAModel(task.workload, task.protocol, arch=task.arch,
                               solver=task.solver)
-        report = model.solve(task.n)
+        report = model.solve(task.n, recovery=True)
         cell = GridCell(
             protocol=task.protocol.label,
             sharing=task.sharing_label,
@@ -120,39 +185,70 @@ def evaluate_task(task: CellTask) -> dict[str, Any]:
             cycle_time=report.cycle_time,
             processing_power=report.processing_power,
         )
-        iterations: int | None = report.iterations
-    else:
-        result = simulate(SimulationConfig(
-            n_processors=task.n, workload=task.workload,
-            protocol=task.protocol, arch=task.arch,
-            seed=task.sim_seed, measured_requests=task.sim_requests))
-        cell = GridCell(
-            protocol=task.protocol.label,
-            sharing=task.sharing_label,
-            n_processors=task.n,
-            speedup=result.speedup,
-            u_bus=result.u_bus,
-            w_bus=result.w_bus,
-            cycle_time=result.mean_cycle_time,
-            processing_power=result.processing_power,
-            method="sim",
-            sim_ci=result.speedup_ci_halfwidth,
-        )
-        iterations = None
+        return {
+            "cell": cell.as_row(),
+            "iterations": report.iterations,
+            "damping": report.damping,
+            "recovered": report.recovered,
+            "warnings": [w.as_dict() for w in report.warnings],
+            "elapsed_s": time.perf_counter() - started,
+        }
+    result = simulate(SimulationConfig(
+        n_processors=task.n, workload=task.workload,
+        protocol=task.protocol, arch=task.arch,
+        seed=task.sim_seed, measured_requests=task.sim_requests))
+    cell = GridCell(
+        protocol=task.protocol.label,
+        sharing=task.sharing_label,
+        n_processors=task.n,
+        speedup=result.speedup,
+        u_bus=result.u_bus,
+        w_bus=result.w_bus,
+        cycle_time=result.mean_cycle_time,
+        processing_power=result.processing_power,
+        method="sim",
+        sim_ci=result.speedup_ci_halfwidth,
+    )
     return {
         "cell": cell.as_row(),
-        "iterations": iterations,
+        "iterations": None,
+        "effective_seed": task.sim_seed,
         "elapsed_s": time.perf_counter() - started,
     }
 
 
-def evaluate_with_retry(task: CellTask, retries: int) -> dict[str, Any]:
-    """Worker entry point: retry failing *simulation* cells.
+def _error_payload(task: CellTask, exc: Exception, attempts: int,
+                   elapsed_s: float) -> dict[str, Any]:
+    """The structured error value a worker returns for a dead cell."""
+    info: dict[str, Any] = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "method": task.method,
+    }
+    diagnostics = getattr(exc, "diagnostics", None)
+    if diagnostics is not None:  # SolverError carries the ladder record
+        info["ladder"] = list(diagnostics.ladder)
+        info["iterations"] = diagnostics.iterations
+        info["warnings"] = [w.as_dict() for w in diagnostics.warnings]
+    return {"error": info, "attempts": attempts, "elapsed_s": elapsed_s}
 
-    Each retry perturbs the seed deterministically so a numerically
-    pathological draw is not replayed verbatim.  MVA cells never retry:
-    they are pure functions of the task, so their failures are real.
+
+def evaluate_with_retry(task: CellTask, retries: int) -> dict[str, Any]:
+    """Worker entry point: never raises; failures become error payloads.
+
+    Failing *simulation* cells are retried with a deterministically
+    perturbed seed so a numerically pathological draw is not replayed
+    verbatim; the value records the ``effective_seed`` that produced
+    the returned sample.  MVA cells get exactly one attempt here --
+    their retry story is the solver's damping ladder inside
+    :func:`evaluate_task`, because they are pure functions of the task.
+
+    A cell that exhausts its attempts returns ``{"error": {...}}``
+    (type, message, attempts, and the solver's ladder diagnostics when
+    available) instead of raising, so one dead cell cannot take down a
+    process-pool sweep.
     """
+    started = time.perf_counter()
     attempts = retries + 1 if task.method == "sim" else 1
     last_error: Exception | None = None
     for attempt in range(attempts):
@@ -166,16 +262,16 @@ def evaluate_with_retry(task: CellTask, retries: int) -> dict[str, Any]:
                 solver=task.solver)
         try:
             value = evaluate_task(attempt_task)
-        except Exception as exc:  # noqa: BLE001 - isolate flaky sim cells
-            if attempt + 1 >= attempts:
-                raise
+        except Exception as exc:  # noqa: BLE001 - isolate failing cells
             last_error = exc
             continue
         value["attempts"] = attempt + 1
-        if last_error is not None:
+        if attempt > 0:
             value["retried_after"] = repr(last_error)
         return value
-    raise AssertionError("unreachable")  # pragma: no cover
+    assert last_error is not None
+    return _error_payload(task, last_error, attempts,
+                          time.perf_counter() - started)
 
 
 @dataclass
@@ -189,6 +285,8 @@ class ExecutorSummary:
     wall_seconds: float
     jobs: int
     mode: str  # "serial" | "process-pool" | "serial-fallback"
+    failed: int = 0
+    recovered: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -196,10 +294,16 @@ class ExecutorSummary:
 
     def line(self) -> str:
         """One-line human-readable summary (CLI stderr, bench output)."""
+        extras = ""
+        if self.recovered:
+            extras += f", {self.recovered} recovered"
+        if self.failed:
+            extras += f", {self.failed} failed"
         return (f"{self.total} cells: {self.solved} solved, "
                 f"{self.cache_hits} cached ({self.cache_hit_rate:.0%} hit "
-                f"rate), {self.retries} retried; {self.wall_seconds:.3f}s "
-                f"wall, jobs={self.jobs} ({self.mode})")
+                f"rate), {self.retries} retried{extras}; "
+                f"{self.wall_seconds:.3f}s wall, jobs={self.jobs} "
+                f"({self.mode})")
 
 
 @dataclass(frozen=True)
@@ -209,6 +313,14 @@ class SweepResult:
     cells: list[GridCell]
     cached: list[bool]
     summary: ExecutorSummary
+    #: Structured records of the cells that could not be solved (empty
+    #: for a clean sweep); each also appears in ``cells`` as an error
+    #: row at its task-order position.
+    failures: list[FailedCell] = field(default_factory=list)
+    #: Per-cell solve metadata in task order (everything the worker
+    #: returned except the row itself: attempts, effective_seed,
+    #: iterations, damping ladder diagnostics, ...).
+    meta: list[dict[str, Any]] = field(default_factory=list)
 
 
 class SweepExecutor:
@@ -221,18 +333,25 @@ class SweepExecutor:
         in-process with results identical to the historical
         ``run_grid`` loop.
     cache:
-        Optional :class:`ResultCache`; flushed after every sweep.
+        Optional :class:`ResultCache`; flushed incrementally after
+        every fresh solve (an interrupted sweep keeps its completed
+        cells) and once more at the end of the sweep.
     metrics:
         Optional :class:`MetricsRegistry` fed with cache hit/miss
-        counters, per-cell solve latency and MVA
-        iterations-to-convergence histograms.
+        counters, per-cell solve latency, MVA
+        iterations-to-convergence histograms and failure/recovery
+        counters.
     sim_retries:
         Extra attempts for failing simulation cells (per cell).
+    strict:
+        If True, the first unsolvable cell raises
+        :class:`CellFailedError` (the historical behaviour).  The
+        default isolates failures into per-cell error rows.
     """
 
     def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
                  metrics: MetricsRegistry | None = None,
-                 sim_retries: int = 2):
+                 sim_retries: int = 2, strict: bool = False):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs!r}")
         if sim_retries < 0:
@@ -241,6 +360,7 @@ class SweepExecutor:
         self.cache = cache
         self.metrics = metrics
         self.sim_retries = sim_retries
+        self.strict = strict
 
     # -- public API ------------------------------------------------------
 
@@ -270,57 +390,127 @@ class SweepExecutor:
                     "Sweep cells that required a fresh solve.", len(pending))
 
         mode = "serial"
-        if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                solved, mode = self._run_parallel(pending)
-            else:
-                solved = {index: evaluate_with_retry(task, self.sim_retries)
-                          for index, task in pending}
-            values.update(solved)
-            for index, task in pending:
-                value = solved[index]
-                if self.cache is not None:
-                    self.cache.put(task.key, value)
-                self._record_solve(task, value)
-        if self.cache is not None:
-            self.cache.flush()
+        try:
+            if pending:
+                if self.jobs > 1 and len(pending) > 1:
+                    mode = self._run_parallel(pending, values)
+                else:
+                    for index, task in pending:
+                        values[index] = self._absorb(
+                            task, index,
+                            evaluate_with_retry(task, self.sim_retries))
+        finally:
+            # Belt and braces: per-solve flushes already persisted every
+            # completed cell, but make sure nothing dirty is left behind
+            # even when a strict sweep raises mid-flight.
+            if self.cache is not None:
+                self.cache.flush()
 
-        cells = [GridCell(**values[index]["cell"])
-                 for index in range(len(tasks))]
-        retries = sum(values[index].get("attempts", 1) - 1
+        cells: list[GridCell] = []
+        failures: list[FailedCell] = []
+        meta: list[dict[str, Any]] = []
+        for index, task in enumerate(tasks):
+            value = values[index]
+            meta.append({k: v for k, v in value.items() if k != "cell"})
+            error = value.get("error")
+            if error is not None:
+                failure = self._failure(index, task, value)
+                failures.append(failure)
+                cells.append(GridCell.failed(
+                    protocol=task.protocol.label,
+                    sharing=task.sharing_label,
+                    n_processors=task.n,
+                    method=task.method,
+                    error=f"{failure.error_type}: {failure.message}"))
+            else:
+                cells.append(GridCell(**value["cell"]))
+
+        retries = sum(max(values[index].get("attempts", 1) - 1, 0)
                       for index, _ in pending)
+        recovered = sum(1 for index, _ in pending
+                        if values[index].get("recovered"))
         summary = ExecutorSummary(
             total=len(tasks), solved=len(pending),
             cache_hits=sum(cached_flags), retries=retries,
             wall_seconds=time.perf_counter() - started,
-            jobs=self.jobs, mode=mode)
-        return SweepResult(cells=cells, cached=cached_flags, summary=summary)
+            jobs=self.jobs, mode=mode,
+            failed=len(failures), recovered=recovered)
+        return SweepResult(cells=cells, cached=cached_flags,
+                           summary=summary, failures=failures, meta=meta)
 
     # -- internals -------------------------------------------------------
 
     def _run_parallel(self, pending: list[tuple[int, CellTask]],
-                      ) -> tuple[dict[int, dict[str, Any]], str]:
+                      values: dict[int, dict[str, Any]]) -> str:
         """Fan out over a process pool; degrade to serial if the platform
-        cannot give us worker processes."""
-        solved: dict[int, dict[str, Any]] = {}
+        cannot give us worker processes.  Completed cells land in
+        ``values`` (and the cache) as they arrive, so even an aborted
+        pool keeps its finished work."""
+        tasks_by_index = dict((index, task) for index, task in pending)
         try:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 futures = {
                     pool.submit(evaluate_with_retry, task, self.sim_retries):
                     index for index, task in pending}
-                for future in as_completed(futures):
-                    solved[futures[future]] = future.result()
-            return solved, "process-pool"
+                try:
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        values[index] = self._absorb(
+                            tasks_by_index[index], index, future.result())
+                except CellFailedError:
+                    for future in futures:
+                        future.cancel()
+                    raise
+            return "process-pool"
         except (OSError, PermissionError, BrokenExecutor):
             remaining = [(index, task) for index, task in pending
-                         if index not in solved]
+                         if index not in values]
             for index, task in remaining:
-                solved[index] = evaluate_with_retry(task, self.sim_retries)
-            return solved, "serial-fallback"
+                values[index] = self._absorb(
+                    task, index, evaluate_with_retry(task, self.sim_retries))
+            return "serial-fallback"
+
+    def _absorb(self, task: CellTask, index: int,
+                value: dict[str, Any]) -> dict[str, Any]:
+        """Record one fresh result: metrics, cache (with an incremental
+        flush), and the strict-mode failure check."""
+        if value.get("error") is not None:
+            self._record_failure(task)
+            if self.strict:
+                raise CellFailedError(self._failure(index, task, value))
+            return value
+        if self.cache is not None:
+            self.cache.put(task.key, value)
+            self.cache.flush()
+        self._record_solve(task, value)
+        return value
+
+    @staticmethod
+    def _failure(index: int, task: CellTask,
+                 value: dict[str, Any]) -> FailedCell:
+        error = value["error"]
+        return FailedCell(
+            index=index,
+            protocol=task.protocol.label,
+            sharing=task.sharing_label,
+            n_processors=task.n,
+            method=task.method,
+            error_type=str(error.get("type", "Exception")),
+            message=str(error.get("message", "")),
+            attempts=int(value.get("attempts", 1)),
+            ladder=tuple(error.get("ladder", ())))
 
     def _count(self, name: str, help_text: str, amount: int) -> None:
         if self.metrics is not None and amount:
             self.metrics.counter(name, help_text).inc(amount)
+
+    def _record_failure(self, task: CellTask) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "repro_cells_failed_total",
+            "Cells that exhausted every retry/recovery path.",
+        ).labels(method=task.method).inc()
 
     def _record_solve(self, task: CellTask, value: dict[str, Any]) -> None:
         if self.metrics is None:
@@ -339,6 +529,11 @@ class SweepExecutor:
                 "repro_sim_retries_total",
                 "Simulation cells that needed retry attempts.",
             ).inc(attempts - 1)
+        if value.get("recovered"):
+            self.metrics.counter(
+                "repro_cells_recovered_total",
+                "MVA cells rescued by the damping ladder.",
+            ).inc()
         iterations = value.get("iterations")
         if iterations is not None:
             self.metrics.histogram(

@@ -83,7 +83,10 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             payload = self._read_json_body()
             response = handler(payload)
         except ServiceError as exc:
-            self._send_json(exc.status, {"error": exc.message})
+            body: dict[str, Any] = {"error": exc.message}
+            if exc.details:
+                body.update(exc.details)
+            self._send_json(exc.status, body)
         except Exception as exc:  # noqa: BLE001 - must answer the client
             _LOG.exception("unhandled error serving %s", self.path)
             self._send_json(500, {"error": f"internal error: {exc}"})
@@ -105,7 +108,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         try:
             return json.loads(raw)
         except ValueError as exc:
-            raise ServiceError(400, f"request body is not valid JSON: "
+            raise ServiceError(400, "request body is not valid JSON: "
                                     f"{exc}") from exc
 
     def _send_json(self, status: int, payload: Any) -> None:

@@ -32,8 +32,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.service.executor import CellTask
 
 #: Bump when the solved-cell payload schema changes so stale persistent
-#: stores never serve rows with missing/renamed fields.
-SCHEMA_VERSION = 1
+#: stores never serve rows with missing/renamed fields.  v2: GridCell
+#: rows gained ``error``; values gained ``effective_seed`` (sim) and
+#: the ``damping``/``recovered``/``warnings`` ladder diagnostics (MVA).
+SCHEMA_VERSION = 2
 
 
 def canonicalize(obj: Any) -> Any:

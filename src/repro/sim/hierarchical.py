@@ -225,7 +225,6 @@ class HierarchicalBusSimulator:
     # -- global bus phase -----------------------------------------------------------
 
     def _grant_global(self, sim: Simulation, request: BusRequest) -> None:
-        arch = self.config.arch
         overhead = self.config.hierarchy.global_overhead_cycles
         outcome = request.outcome
         if outcome.kind is RequestKind.BROADCAST:

@@ -28,7 +28,6 @@ shared block; the refined model passes q through instead (see
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.workload.parameters import WorkloadParameters

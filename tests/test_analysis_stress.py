@@ -1,0 +1,72 @@
+"""Tests for the stress harness (failure-isolated robustness sweep)."""
+
+import pytest
+
+from repro.analysis.stress import (
+    DEFAULT_SIZES,
+    StressCorner,
+    run_stress,
+    stress_corners,
+    stress_tasks,
+)
+from repro.core.solver import FixedPointSolver
+from repro.protocols.modifications import ProtocolSpec, all_combinations
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+
+class TestStressGrid:
+    def test_full_grid_shape(self):
+        tasks = stress_tasks()
+        expected = (len(all_combinations()) * len(stress_corners())
+                    * len(DEFAULT_SIZES))
+        assert len(tasks) == expected
+        assert len(all_combinations()) == 16
+        assert all(t.method == "mva" for t in tasks)
+
+    def test_corner_labels_are_distinct(self):
+        labels = [corner.label for corner in stress_corners()]
+        assert len(labels) == len(set(labels))
+
+
+class TestRunStress:
+    @pytest.fixture(scope="class")
+    def small_report(self):
+        # Two protocols x all corners x two sizes: fast but still
+        # exercises every corner.
+        return run_stress(sizes=(4, 32),
+                          protocols=[ProtocolSpec(), ProtocolSpec.of(1, 4)])
+
+    def test_every_cell_resolves_in_isolation(self, small_report):
+        assert small_report.isolated
+        assert small_report.total == 2 * len(stress_corners()) * 2
+        assert small_report.converged + len(small_report.failures) \
+            == small_report.total
+
+    def test_extreme_corners_converge_or_fail_structured(self, small_report):
+        # The paper's robustness claim: these corners should mostly
+        # converge; whatever does not must be a structured failure.
+        assert small_report.converged > 0
+        for failure in small_report.failures:
+            assert failure.error_type
+            assert failure.message
+
+    def test_report_text(self, small_report):
+        text = small_report.text()
+        assert "stress sweep" in text
+        assert "isolation invariant: ok" in text
+
+    def test_poisoned_solver_fails_in_isolation(self):
+        """Force failures: an unreachable tolerance must produce error
+        rows for exactly the poisoned sweep's cells and a still-intact
+        report."""
+        report = run_stress(
+            sizes=(4,),
+            corners=(StressCorner(
+                "baseline", appendix_a_workload(SharingLevel.FIVE_PERCENT)),),
+            protocols=[ProtocolSpec()],
+            solver=FixedPointSolver(tolerance=1e-30, max_iterations=2))
+        assert report.total == 1
+        assert len(report.failures) == 1
+        assert report.isolated
+        assert "VIOLATED" not in report.text()
+        assert report.metrics.snapshot()["repro_cells_failed_total"] == 1

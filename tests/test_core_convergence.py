@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core.convergence import analyze_convergence
+from repro.core.convergence import ConvergenceAnalysis, analyze_convergence
 from repro.core.equations import EquationSystem
 from repro.workload.derived import derive_inputs
 from repro.workload.parameters import SharingLevel, appendix_a_workload
@@ -48,10 +48,53 @@ class TestAnalyzeConvergence:
         with pytest.raises(ValueError):
             analysis.iterations_for(0.0)
 
+    def test_iterations_for_zero_when_already_at_precision(self):
+        """Regression: a starting residual at or below the target used
+        to predict 1.0 sweeps; no sweeps are needed."""
+        analysis = ConvergenceAnalysis(
+            contraction_rate=0.5, iterations_observed=3,
+            residuals=(1e-12,))
+        assert analysis.iterations_for(1e-9) == 0.0
+        assert analysis.iterations_for(1e-12) == 0.0  # boundary: at target
+        # the explicit-start override takes the same path
+        healthy = analyze_convergence(_system(10))
+        assert healthy.iterations_for(1e-9, initial_residual=1e-10) == 0.0
+
+    def test_iterations_for_with_nonpositive_rate(self):
+        """Regression: rate <= 0 returned 1.0 even when the start was
+        already below the target; the start check must win."""
+        done = ConvergenceAnalysis(contraction_rate=0.0,
+                                   iterations_observed=1,
+                                   residuals=(1e-12,))
+        assert done.iterations_for(1e-9) == 0.0
+        pending = ConvergenceAnalysis(contraction_rate=0.0,
+                                      iterations_observed=1,
+                                      residuals=(1.0,))
+        # one sweep collapses the residual when the rate is ~0
+        assert pending.iterations_for(1e-9) == 1.0
+
     def test_single_processor_converges_immediately(self):
         analysis = analyze_convergence(_system(1))
         # No queueing feedback: the fixed point is reached in ~2 sweeps.
         assert analysis.iterations_observed <= 3
+
+    def test_damping_parameter_measures_the_damped_iteration(self):
+        """Regression: `analyze_convergence` ignored solver damping.
+        Near the fixed point a damped sweep contracts like
+        (1 - d) + d * rate, so under-relaxation *slows* an already
+        monotone iteration -- the measured rate must reflect that."""
+        plain = analyze_convergence(_system(10))
+        damped = analyze_convergence(_system(10), damping=0.5)
+        assert damped.contraction_rate > plain.contraction_rate
+        expected = 0.5 + 0.5 * plain.contraction_rate
+        assert damped.contraction_rate == pytest.approx(expected, rel=0.05)
+        assert damped.iterations_observed > plain.iterations_observed
+
+    def test_damping_validation(self):
+        with pytest.raises(ValueError):
+            analyze_convergence(_system(4), damping=0.0)
+        with pytest.raises(ValueError):
+            analyze_convergence(_system(4), damping=1.5)
 
     def test_explains_the_paper_iteration_claim(self):
         """At every Table-4.1 cell, the measured rate predicts <= ~25

@@ -1,13 +1,47 @@
 """Tests for the fixed-point solver."""
 
 import math
+from dataclasses import replace
 
 import pytest
 
-from repro.core.equations import EquationSystem, ModelState
-from repro.core.solver import FixedPointSolver, SolverError
+from repro.core.equations import EquationSystem
+from repro.core.solver import (
+    DEFAULT_DAMPING_LADDER,
+    FixedPointSolver,
+    SolverError,
+    estimate_contraction_rate,
+)
 from repro.workload.derived import derive_inputs
 from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+
+class OscillatingSystem:
+    """A synthetic iteration map that diverges undamped.
+
+    ``w_bus`` follows x -> c - k*x with k > 1: the fixed point
+    c / (1 + k) repels plain successive substitution (|derivative| > 1)
+    but any damping factor d with d < 2 / (1 + k) turns the damped map
+    into a contraction -- exactly the regime the recovery ladder is
+    for.
+    """
+
+    def __init__(self, c=2.4, k=1.4):
+        self.c = c
+        self.k = k
+
+    @property
+    def fixed_point(self):
+        return self.c / (1.0 + self.k)
+
+    def step(self, state):
+        return replace(state, w_bus=self.c - self.k * state.w_bus)
+
+    def damped(self, previous, proposed, factor):
+        if factor >= 1.0:
+            return proposed
+        return replace(proposed, w_bus=previous.w_bus
+                       + factor * (proposed.w_bus - previous.w_bus))
 
 
 @pytest.fixture
@@ -90,6 +124,93 @@ class TestFailureModes:
             FixedPointSolver(damping=0.0)
         with pytest.raises(ValueError):
             FixedPointSolver(damping=1.5)
+
+
+class TestRecoveryLadder:
+    def test_plain_solve_matches_recovery_on_healthy_system(self, system_10):
+        plain_state, plain_diag = FixedPointSolver().solve(system_10)
+        state, diag = FixedPointSolver().solve_with_recovery(system_10)
+        assert state.distance(plain_state) == 0.0
+        assert diag.converged
+        assert not diag.recovered
+        assert diag.ladder == (1.0,)
+        assert diag.warnings == ()
+        assert diag.iterations == plain_diag.iterations
+
+    def test_divergent_map_is_rescued_by_damping(self):
+        system = OscillatingSystem()
+        solver = FixedPointSolver(tolerance=1e-9, max_iterations=60)
+        with pytest.raises(SolverError):
+            solver.solve(system)
+        state, diag = solver.solve_with_recovery(system)
+        assert diag.converged
+        assert diag.recovered
+        assert diag.damping < 1.0
+        assert diag.ladder[0] == 1.0
+        assert state.w_bus == pytest.approx(system.fixed_point, abs=1e-6)
+        assert any(w.code == "damping-recovery" for w in diag.warnings)
+
+    def test_warm_start_accumulates_across_rungs(self, system_10):
+        """A too-tight iteration cap fails at damping 1.0 but the
+        warm-started second rung finishes the job -- the ladder never
+        throws away partial progress."""
+        solver = FixedPointSolver(tolerance=1e-3, max_iterations=10)
+        with pytest.raises(SolverError):
+            solver.solve(system_10)
+        state, diag = solver.solve_with_recovery(system_10)
+        assert diag.converged and diag.recovered
+        assert diag.ladder == (1.0, 0.5)
+        # the failed first rung's sweeps are part of the total
+        assert 10 < diag.iterations <= 20
+        reference, _ = FixedPointSolver().solve(system_10)
+        assert state.distance(reference) < 1e-2
+
+    def test_unrecoverable_system_raises_with_full_ladder(self, system_10):
+        solver = FixedPointSolver(tolerance=1e-30, max_iterations=3)
+        with pytest.raises(SolverError) as excinfo:
+            solver.solve_with_recovery(system_10)
+        diag = excinfo.value.diagnostics
+        assert diag is not None
+        assert diag.ladder == DEFAULT_DAMPING_LADDER
+        assert not diag.converged
+        assert diag.iterations == 3 * len(DEFAULT_DAMPING_LADDER)
+        assert len(diag.warnings) == 1
+
+    def test_unrecoverable_soft_mode_returns_warning(self, system_10):
+        solver = FixedPointSolver(tolerance=1e-30, max_iterations=3,
+                                  raise_on_divergence=False)
+        state, diag = solver.solve_with_recovery(system_10)
+        assert not diag.converged
+        assert state.response is not None
+        assert diag.warnings[0].code in ("not-converged", "saturation-knee")
+
+    def test_saturation_knee_is_a_warning_not_a_crash(self):
+        """A contraction rate pushed towards 1 surfaces as a structured
+        saturation-knee warning on an otherwise converged solve."""
+        system = OscillatingSystem(c=2.0, k=0.999)  # rate ~ 0.999
+        state, diag = FixedPointSolver(
+            tolerance=1e-12, max_iterations=50000).solve_with_recovery(system)
+        assert diag.converged
+        knee = [w for w in diag.warnings if w.code == "saturation-knee"]
+        assert knee
+        assert knee[0].contraction_rate == pytest.approx(0.999, abs=5e-3)
+
+    def test_damped_solver_starts_its_ladder_below_one(self, system_10):
+        solver = FixedPointSolver(tolerance=1e-30, max_iterations=2,
+                                  damping=0.5, raise_on_divergence=False)
+        _, diag = solver.solve_with_recovery(system_10)
+        assert diag.ladder == (0.5, 0.25, 0.1)
+
+    def test_contraction_rate_estimator(self):
+        geometric = [0.5 ** i for i in range(10)]
+        assert estimate_contraction_rate(geometric) == pytest.approx(0.5)
+        assert estimate_contraction_rate([]) == 0.0
+        assert estimate_contraction_rate([1e-16, 1e-16]) == 0.0
+
+    def test_plain_solve_records_residual_trace(self, system_10):
+        _, diag = FixedPointSolver().solve(system_10)
+        assert len(diag.residual_trace) == diag.iterations
+        assert diag.residual_trace[-1] == diag.final_residual
 
 
 class TestExtremeInputs:

@@ -1,7 +1,5 @@
 """Tests for reachability, steady-state solution, and measures."""
 
-import math
-
 import pytest
 
 from repro.gtpn.markov import solve_steady_state

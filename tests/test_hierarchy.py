@@ -7,7 +7,6 @@ import pytest
 from repro.core.model import CacheMVAModel
 from repro.hierarchy import HierarchicalMVAModel, HierarchyParams
 from repro.protocols.modifications import ProtocolSpec
-from repro.workload.parameters import SharingLevel, appendix_a_workload
 
 
 class TestHierarchyParams:

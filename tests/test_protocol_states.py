@@ -1,7 +1,5 @@
 """Tests for the 3-bit block state space."""
 
-import pytest
-
 from repro.protocols.states import BlockState, StateBits
 
 

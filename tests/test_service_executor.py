@@ -4,6 +4,7 @@ import pytest
 
 import repro.service.executor as executor_module
 from repro.analysis.grid import GridSpec, run_grid
+from repro.core.solver import FixedPointSolver
 from repro.protocols.modifications import ProtocolSpec
 from repro.service.cache import ResultCache
 from repro.service.executor import (
@@ -134,11 +135,13 @@ class TestRetry:
         assert value["attempts"] == 3
         assert "transient failure" in value["retried_after"]
 
-    def test_sim_cell_exhausts_retries(self, monkeypatch):
+    def test_sim_cell_exhausts_retries_into_error_payload(self, monkeypatch):
         fake, _ = self._flaky_simulate(failures=10)
         monkeypatch.setattr(executor_module, "simulate", fake)
-        with pytest.raises(RuntimeError, match="transient failure 3"):
-            evaluate_with_retry(self._sim_task(), retries=2)
+        value = evaluate_with_retry(self._sim_task(), retries=2)
+        assert value["error"]["type"] == "RuntimeError"
+        assert "transient failure 3" in value["error"]["message"]
+        assert value["attempts"] == 3
 
     def test_mva_cells_never_retry(self, monkeypatch):
         def boom(task):
@@ -147,14 +150,174 @@ class TestRetry:
         task = CellTask(protocol=ProtocolSpec(), sharing_label="5%",
                         workload=appendix_a_workload(
                             SharingLevel.FIVE_PERCENT), n=2)
-        with pytest.raises(RuntimeError, match="modelling error"):
-            evaluate_with_retry(task, retries=5)
+        value = evaluate_with_retry(task, retries=5)
+        assert value["attempts"] == 1  # the seed bump is sim-only
+        assert "modelling error" in value["error"]["message"]
+
+    def test_retried_cell_records_effective_seed(self, monkeypatch):
+        """A retried simulation cell is traceable to the seed that
+        actually produced it, not the originally requested one."""
+        fake, _ = self._flaky_simulate(failures=1)
+        monkeypatch.setattr(executor_module, "simulate", fake)
+        task = self._sim_task()
+        value = evaluate_with_retry(task, retries=2)
+        stride = executor_module._RETRY_SEED_STRIDE
+        assert value["effective_seed"] == task.sim_seed + stride
+        assert value["attempts"] == 2
+        # a clean cell reports the seed it was asked for
+        clean = evaluate_with_retry(task, retries=0)
+        assert clean["effective_seed"] == task.sim_seed
+
+    def test_effective_seed_reaches_cache_and_meta(self, monkeypatch):
+        fake, _ = self._flaky_simulate(failures=1)
+        monkeypatch.setattr(executor_module, "simulate", fake)
+        cache = ResultCache()
+        task = self._sim_task()
+        result = SweepExecutor(jobs=1, cache=cache).run([task])
+        stride = executor_module._RETRY_SEED_STRIDE
+        expected = task.sim_seed + stride
+        assert result.meta[0]["effective_seed"] == expected
+        assert cache.get(task.key)["effective_seed"] == expected
 
     def test_executor_counts_retries(self, monkeypatch):
         fake, _ = self._flaky_simulate(failures=1)
         monkeypatch.setattr(executor_module, "simulate", fake)
         result = SweepExecutor(jobs=1).run([self._sim_task()])
         assert result.summary.retries == 1
+
+
+def _mva_task(n, solver=None):
+    return CellTask(
+        protocol=ProtocolSpec(), sharing_label="5%",
+        workload=appendix_a_workload(SharingLevel.FIVE_PERCENT), n=n,
+        **({"solver": solver} if solver is not None else {}))
+
+
+#: A solver no damping rung can save: the tolerance is unreachable.
+_POISONED = FixedPointSolver(tolerance=1e-30, max_iterations=3)
+
+#: A solver that fails plain substitution (cap too low for ~15 sweeps
+#: to 1e-3) but converges on the warm-started 0.5 rung of the ladder.
+_RECOVERABLE = FixedPointSolver(tolerance=1e-3, max_iterations=10)
+
+
+class TestFailureIsolation:
+    """One dead cell must not take down (or perturb) the sweep."""
+
+    def _tasks_with_one_poisoned(self):
+        tasks = [_mva_task(n) for n in (2, 4, 8)]
+        tasks.insert(2, _mva_task(6, solver=_POISONED))
+        return tasks
+
+    def test_sweep_completes_with_one_error_row(self):
+        tasks = self._tasks_with_one_poisoned()
+        result = SweepExecutor(jobs=1).run(tasks)
+        assert result.summary.failed == 1
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.index == 2
+        assert failure.error_type == "SolverError"
+        assert failure.ladder == (1.0, 0.5, 0.25, 0.1)
+        error_cell = result.cells[2]
+        assert error_cell.error is not None
+        assert error_cell.speedup is None
+        assert error_cell.n_processors == 6
+
+    def test_surviving_cells_match_a_clean_run(self):
+        clean = SweepExecutor(jobs=1).run([_mva_task(n) for n in (2, 4, 8)])
+        mixed = SweepExecutor(jobs=1).run(self._tasks_with_one_poisoned())
+        survivors = [c for c in mixed.cells if c.error is None]
+        assert [c.as_row() for c in survivors] == \
+            [c.as_row() for c in clean.cells]
+
+    def test_completed_cells_are_cached_but_failures_are_not(self):
+        cache = ResultCache()
+        tasks = self._tasks_with_one_poisoned()
+        SweepExecutor(jobs=1, cache=cache).run(tasks)
+        assert len(cache) == 3
+        assert cache.get(tasks[2].key) is None
+        # a rerun re-attempts only the failed cell
+        rerun = SweepExecutor(jobs=1, cache=cache).run(tasks)
+        assert rerun.summary.cache_hits == 3
+        assert rerun.summary.solved == 1
+        assert rerun.summary.failed == 1
+
+    def test_cache_is_flushed_incrementally(self, tmp_path, monkeypatch):
+        """An interrupted sweep keeps every cell completed before the
+        interruption in the on-disk store."""
+        path = tmp_path / "cells.json"
+        cache = ResultCache(path=path)
+        tasks = [_mva_task(n) for n in (2, 4, 8)]
+        calls = {"n": 0}
+        real = executor_module.evaluate_task
+
+        def dies_on_third(task):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise KeyboardInterrupt
+            return real(task)
+        monkeypatch.setattr(executor_module, "evaluate_task", dies_on_third)
+        with pytest.raises(KeyboardInterrupt):
+            SweepExecutor(jobs=1, cache=cache).run(tasks)
+        reloaded = ResultCache(path=path)
+        assert len(reloaded) == 2  # the two cells solved before the cut
+
+    def test_parallel_sweep_isolates_failures_too(self):
+        tasks = self._tasks_with_one_poisoned()
+        serial = SweepExecutor(jobs=1).run(tasks)
+        parallel = SweepExecutor(jobs=2).run(tasks)
+        assert parallel.summary.failed == 1
+        assert [c.as_row() for c in parallel.cells] == \
+            [c.as_row() for c in serial.cells]
+
+    def test_failure_metrics(self):
+        registry = MetricsRegistry()
+        SweepExecutor(jobs=1, metrics=registry).run(
+            self._tasks_with_one_poisoned())
+        snapshot = registry.snapshot()
+        assert snapshot["repro_cells_failed_total"] == 1
+        assert snapshot["repro_cells_solved_total"] == 3
+
+    def test_strict_mode_raises_on_first_failure(self):
+        from repro.service.executor import CellFailedError
+        with pytest.raises(CellFailedError, match="SolverError"):
+            SweepExecutor(jobs=1, strict=True).run(
+                self._tasks_with_one_poisoned())
+
+    def test_summary_line_mentions_failures(self):
+        result = SweepExecutor(jobs=1).run(self._tasks_with_one_poisoned())
+        assert "1 failed" in result.summary.line()
+
+
+class TestDampingRecovery:
+    """A cell that diverges at damping 1.0 is rescued by the ladder."""
+
+    def test_recoverable_cell_converges_via_ladder(self):
+        result = SweepExecutor(jobs=1).run(
+            [_mva_task(10, solver=_RECOVERABLE)])
+        assert result.summary.failed == 0
+        assert result.summary.recovered == 1
+        meta = result.meta[0]
+        assert meta["recovered"] is True
+        assert meta["damping"] < 1.0
+        assert any(w["code"] == "damping-recovery"
+                   for w in meta["warnings"])
+        # the rescued value agrees with an unconstrained solve
+        reference = SweepExecutor(jobs=1).run([_mva_task(10)])
+        assert result.cells[0].speedup == pytest.approx(
+            reference.cells[0].speedup, rel=1e-2)
+
+    def test_recovery_metrics(self):
+        registry = MetricsRegistry()
+        SweepExecutor(jobs=1, metrics=registry).run(
+            [_mva_task(10, solver=_RECOVERABLE)])
+        assert registry.snapshot()["repro_cells_recovered_total"] == 1
+
+    def test_summary_counts_recoveries(self):
+        result = SweepExecutor(jobs=1).run(
+            [_mva_task(10, solver=_RECOVERABLE), _mva_task(4)])
+        assert result.summary.recovered == 1
+        assert "1 recovered" in result.summary.line()
 
 
 class TestSerialFallback:

@@ -144,6 +144,63 @@ class TestGrid:
         status, _ = _post(server, "/grid", {"n": [2]})
         assert status == 400
 
+    def test_rows_carry_per_cell_status(self, server):
+        status, payload = _post(server, "/grid", {
+            "protocols": ["write-once"], "n": [2, 4], "sharing": ["5"]})
+        assert status == 200
+        assert all(cell["status"] == "ok" for cell in payload["cells"])
+        assert all(cell["error"] is None for cell in payload["cells"])
+        assert payload["failures"] == []
+        assert payload["summary"]["failed"] == 0
+        assert payload["summary"]["recovered"] == 0
+
+
+class TestFailureSemantics:
+    """Partial failure is a 200 with error rows; only a sweep with no
+    surviving cell is a request-level error."""
+
+    def _poison(self, monkeypatch, dead_sizes):
+        import repro.service.executor as executor_module
+        real = executor_module.evaluate_task
+
+        def poisoned(task):
+            if task.n in dead_sizes:
+                raise RuntimeError(f"injected failure at N={task.n}")
+            return real(task)
+        monkeypatch.setattr(executor_module, "evaluate_task", poisoned)
+
+    def test_partial_failure_is_200_with_error_row(self, server,
+                                                   monkeypatch):
+        self._poison(monkeypatch, {4})
+        status, payload = _post(server, "/grid", {
+            "protocols": ["write-once"], "n": [2, 4, 8], "sharing": ["5"]})
+        assert status == 200
+        by_n = {cell["n_processors"]: cell for cell in payload["cells"]}
+        assert by_n[4]["status"] == "error"
+        assert by_n[4]["speedup"] is None
+        assert "injected failure" in by_n[4]["error"]
+        assert by_n[2]["status"] == by_n[8]["status"] == "ok"
+        assert payload["summary"]["failed"] == 1
+        assert len(payload["failures"]) == 1
+        assert payload["failures"][0]["n_processors"] == 4
+
+    def test_total_failure_is_500_with_failure_records(self, server,
+                                                       monkeypatch):
+        self._poison(monkeypatch, {2, 4})
+        status, payload = _post(server, "/grid", {
+            "protocols": ["write-once"], "n": [2, 4], "sharing": ["5"]})
+        assert status == 500
+        assert "all 2 cells failed" in payload["error"]
+        assert len(payload["failures"]) == 2
+
+    def test_metrics_expose_failures(self, server, monkeypatch):
+        self._poison(monkeypatch, {4})
+        _post(server, "/grid", {"protocols": ["write-once"], "n": [2, 4],
+                                "sharing": ["5"]})
+        _, _, body = _get(server, "/metrics")
+        text = body.decode()
+        assert 'repro_cells_failed_total{method="mva"} 1' in text
+
 
 class TestMetrics:
     def test_exposition_after_traffic(self, server):

@@ -1,6 +1,5 @@
 """Tests for the streaming statistics helpers."""
 
-import math
 import statistics
 
 import pytest

@@ -1,7 +1,5 @@
 """Integration tests for the full multiprocessor simulation."""
 
-import math
-
 import pytest
 
 from repro.core.model import CacheMVAModel

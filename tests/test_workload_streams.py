@@ -1,6 +1,5 @@
 """Tests for the simulator's reference-outcome sampler."""
 
-import math
 from collections import Counter
 
 import numpy as np
