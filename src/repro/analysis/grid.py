@@ -11,7 +11,7 @@ from __future__ import annotations
 import io
 import json
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.protocols.modifications import ProtocolSpec
@@ -58,7 +58,22 @@ class GridCell:
                    method=method, error=error)
 
     def as_row(self) -> dict[str, object]:
-        return asdict(self)
+        # Hand-rolled (field order preserved): this sits on the sweep
+        # hot path and the cells are flat, so the recursive
+        # ``dataclasses.asdict`` machinery is measurable overhead.
+        return {
+            "protocol": self.protocol,
+            "sharing": self.sharing,
+            "n_processors": self.n_processors,
+            "speedup": self.speedup,
+            "u_bus": self.u_bus,
+            "w_bus": self.w_bus,
+            "cycle_time": self.cycle_time,
+            "processing_power": self.processing_power,
+            "method": self.method,
+            "sim_ci": self.sim_ci,
+            "error": self.error,
+        }
 
 
 @dataclass(frozen=True)
@@ -86,6 +101,7 @@ class GridSpec:
 def run_grid(spec: GridSpec,
              workload_for: Callable[[SharingLevel], WorkloadParameters] = appendix_a_workload,
              executor: "SweepExecutor | None" = None,
+             engine: str = "scalar",
              ) -> list[GridCell]:
     """Solve every grid point; simulation cells follow their MVA cell.
 
@@ -94,11 +110,17 @@ def run_grid(spec: GridSpec,
     are identical -- values and order -- to the historical in-line
     loop.  Pass an executor configured with ``jobs``/``cache`` to
     parallelize the sweep or reuse previously solved cells.
+
+    ``engine`` selects the MVA evaluation backend when no explicit
+    executor is passed: ``"scalar"`` (the historical per-cell loop) or
+    ``"batch"`` (one vectorized fixed point for the whole grid; see
+    :mod:`repro.core.batch`).  An explicit ``executor`` carries its own
+    engine setting.
     """
     from repro.service.executor import SweepExecutor
 
     if executor is None:
-        executor = SweepExecutor(jobs=1)
+        executor = SweepExecutor(jobs=1, engine=engine)
     return executor.run_spec(spec, workload_for).cells
 
 

@@ -156,10 +156,15 @@ def run_stress(sizes: Sequence[int] = DEFAULT_SIZES,
                corners: Sequence[StressCorner] | None = None,
                protocols: Sequence[ProtocolSpec] | None = None,
                solver: FixedPointSolver | None = None,
-               jobs: int = 1) -> StressReport:
-    """Sweep the stress grid through a failure-isolating executor."""
+               jobs: int = 1, engine: str = "scalar") -> StressReport:
+    """Sweep the stress grid through a failure-isolating executor.
+
+    ``engine`` selects the MVA backend (``"scalar"`` or ``"batch"``);
+    the stress grid is all-MVA, so ``"batch"`` solves the whole sweep
+    as one vectorized fixed point.
+    """
     metrics = MetricsRegistry()
-    executor = SweepExecutor(jobs=jobs, metrics=metrics)
+    executor = SweepExecutor(jobs=jobs, metrics=metrics, engine=engine)
     result = executor.run(stress_tasks(sizes=sizes, corners=corners,
                                        protocols=protocols, solver=solver))
     return StressReport(result=result, metrics=metrics)

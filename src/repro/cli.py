@@ -227,7 +227,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     try:
         cache = ResultCache(path=args.cache) if args.cache else None
         executor = SweepExecutor(jobs=args.jobs, cache=cache,
-                                 strict=args.strict)
+                                 strict=args.strict, engine=args.engine)
         result = executor.run_spec(spec)
     except CellFailedError as exc:  # --strict: fail the whole sweep
         print(f"error: {exc}", file=sys.stderr)
@@ -260,7 +260,8 @@ def _cmd_grid(args: argparse.Namespace) -> int:
 def _cmd_stress(args: argparse.Namespace) -> int:
     from repro.analysis.stress import run_stress
 
-    report = run_stress(sizes=tuple(args.n), jobs=args.jobs)
+    report = run_stress(sizes=tuple(args.n), jobs=args.jobs,
+                        engine=args.engine)
     print(report.text())
     if not report.isolated:  # pragma: no cover - invariant violation
         print("error: a cell failure leaked outside its row",
@@ -274,13 +275,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         cache = ResultCache(path=args.cache) if args.cache else ResultCache()
-        server = start_server(ModelService(cache=cache, jobs=args.jobs),
+        server = start_server(ModelService(cache=cache, jobs=args.jobs,
+                                           engine=args.engine),
                               host=args.host, port=args.port)
     except OSError as exc:  # port in use, unresolvable host, ...
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(f"repro service listening on {server.url} "
-          f"(jobs={args.jobs}, cache="
+          f"(jobs={args.jobs}, engine={args.engine}, cache="
           f"{args.cache or 'in-memory'}; Ctrl-C to stop)")
     try:
         server.serve_forever()
@@ -391,6 +393,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="abort the sweep on the first failed cell "
                              "(default: isolate failures as error rows "
                              "and print a summary to stderr)")
+    p_grid.add_argument("--engine", choices=["scalar", "batch"],
+                        default="scalar",
+                        help="MVA backend: per-cell scalar solves "
+                             "(default) or one vectorized batch for the "
+                             "whole sweep")
     p_grid.set_defaults(func=_cmd_grid)
 
     p_stress = sub.add_parser("stress",
@@ -402,12 +409,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="system sizes per corner")
     p_stress.add_argument("--jobs", type=_positive_int, default=1,
                           help="worker processes for the sweep")
+    p_stress.add_argument("--engine", choices=["scalar", "batch"],
+                          default="scalar",
+                          help="MVA backend: per-cell scalar solves "
+                               "(default) or one vectorized batch")
     p_stress.set_defaults(func=_cmd_stress)
 
     p_serve = sub.add_parser("serve",
                              help="run the HTTP JSON evaluation service "
-                                  "(POST /solve, POST /grid, GET /healthz, "
-                                  "GET /metrics)")
+                                  "(POST /v1/solve, POST /v1/grid, "
+                                  "GET /v1/healthz, GET /v1/metrics)")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8321,
                          help="TCP port (0 picks an ephemeral port)")
@@ -415,6 +426,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes for grid sweeps")
     p_serve.add_argument("--cache",
                          help="persistent result-cache JSON file")
+    p_serve.add_argument("--engine", choices=["scalar", "batch"],
+                         default="scalar",
+                         help="default MVA backend for requests that do "
+                              "not set their own 'engine' field")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_report = sub.add_parser("report", help="compact live reproduction "

@@ -17,9 +17,14 @@ Typical use::
     print(report.speedup)
 """
 
-from repro.core.equations import EquationSystem, ModelState
+from repro.core.batch import (
+    BatchEquationSystem,
+    BatchSolveResult,
+    solve_batch,
+)
+from repro.core.equations import EquationSystem, ModelState, StepCoefficients
 from repro.core.metrics import PerformanceReport, ResponseBreakdown
-from repro.core.model import CacheMVAModel
+from repro.core.model import CacheMVAModel, build_report
 from repro.core.scaled import ScaledSharingMVAModel
 from repro.core.solver import (
     DEFAULT_DAMPING_LADDER,
@@ -37,6 +42,8 @@ from repro.core.sensitivity import (
 )
 
 __all__ = [
+    "BatchEquationSystem",
+    "BatchSolveResult",
     "CacheMVAModel",
     "DEFAULT_DAMPING_LADDER",
     "EquationSystem",
@@ -48,9 +55,12 @@ __all__ = [
     "SolverDiagnostics",
     "SolverError",
     "SolverWarning",
+    "StepCoefficients",
     "asymptotic_speedup",
+    "build_report",
     "estimate_contraction_rate",
     "parameter_sensitivity",
+    "solve_batch",
     "speedup_curve",
     "sweep_parameter",
 ]

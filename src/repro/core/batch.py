@@ -1,0 +1,510 @@
+"""Batched, vectorized fixed-point iteration over many model cells.
+
+The paper's efficiency claim is that one MVA fixed point costs "seconds
+of computing, independent of N".  A design-space sweep multiplies that
+cost by (protocols x sharing x sizes); this module removes the
+multiplier by stacking the per-cell iterated quantities (``w_bus``,
+``w_mem``, ``q_bus``, ``n_interference``) into ``(cells,)`` NumPy arrays
+and performing **one** vectorized sweep for the entire grid per
+iteration.
+
+Semantics mirror the scalar engine cell for cell:
+
+* the per-sweep arithmetic is the same equation system
+  (:class:`repro.core.equations.EquationSystem.step`), read from the
+  shared :class:`repro.core.equations.StepCoefficients` extraction so
+  the two engines cannot drift apart;
+* **per-cell convergence masking** -- a converged cell freezes (its
+  state is snapshotted the sweep it converges) while the remaining
+  cells keep iterating;
+* **per-cell damping and recovery** -- cells that do not converge
+  within ``max_iterations`` sweeps advance down the same escalating
+  damping ladder as
+  :meth:`repro.core.solver.FixedPointSolver.solve_with_recovery`,
+  warm-started from their last iterate, while already-converged cells
+  keep their first-rung result;
+* per-cell :class:`repro.core.solver.SolverDiagnostics` are
+  reconstructed at the end (iterations, ladder, damping, recovery and
+  saturation-knee warnings, final-rung traces), so downstream
+  consumers -- ``GridCell`` rows, metrics, failure records -- are
+  drop-in identical to scalar solves.
+
+Because the iteration is lockstep, rung boundaries are global: every
+live cell has performed the same number of sweeps in its current rung,
+exactly as if each cell had been solved alone.
+
+Hot-path notes: every quantity that does not change between sweeps
+(the ``p' ~ 1`` branch mask of equation 13, the queue-length ``N - 1``
+factor, the constant products of equations 9-12) is precomputed at
+batch construction, the two ``p_busy`` evaluations (bus and memory)
+run as one call on a stacked ``(2, cells)`` array, and converged lanes
+are *not* masked out of the sweep -- their state was already
+snapshotted the sweep they froze, so whatever they compute afterwards
+is simply never read.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.equations import EquationSystem, ModelState, StepCoefficients
+from repro.core.metrics import ResponseBreakdown
+from repro.core.solver import (
+    DEFAULT_DAMPING_LADDER,
+    SATURATION_KNEE_RATE,
+    FixedPointSolver,
+    SolverDiagnostics,
+    SolverWarning,
+    estimate_contraction_rate,
+)
+
+__all__ = [
+    "BatchEquationSystem",
+    "BatchSolveResult",
+    "solve_batch",
+]
+
+#: Tiny positive stand-in used under a ``where`` mask so masked lanes
+#: never divide by zero (their results are discarded by the mask).
+_SAFE = 1.0
+
+
+def _p_busy_vec(utilization: np.ndarray, n: np.ndarray,
+                multi: np.ndarray | None = None,
+                n_f: np.ndarray | None = None) -> np.ndarray:
+    """Vectorized equation (8); elementwise identical to ``_p_busy``.
+
+    ``multi``/``n_f`` accept the precomputed ``n > 1`` mask and its
+    safe denominator (both sweep invariants) so the solver loop does
+    not rebuild them every iteration.
+    """
+    if multi is None:
+        multi = n > 1
+    if n_f is None:
+        n_f = np.where(multi, n, 2.0)  # masked lanes: any n > 1 works
+    u = np.minimum(utilization, n_f)
+    own = u / n_f
+    denominator = 1.0 - own
+    positive = denominator > 0.0
+    safe = np.where(positive, denominator, _SAFE)
+    value = np.clip((u - own) / safe, 0.0, 1.0 - 1e-12)
+    value = np.where(positive, value, 1.0 - 1e-12)
+    return np.where(multi, value, 0.0)
+
+
+def _n_interference_vec(p: np.ndarray, p_prime: np.ndarray,
+                        q_bus: np.ndarray) -> np.ndarray:
+    """Vectorized equation (13); elementwise identical to
+    :meth:`repro.workload.derived.CacheInterference.n_interference`."""
+    zero = (q_bus <= 0.0) | (p <= 0.0)
+    near_one = np.isclose(p_prime, 1.0, rtol=1e-9, atol=1e-12)
+    safe_pp = np.where(near_one, 0.5, p_prime)
+    general = p * (1.0 - safe_pp ** q_bus) / (1.0 - safe_pp)
+    value = np.where(near_one, p * q_bus, general)
+    return np.where(zero, 0.0, value)
+
+
+class BatchEquationSystem:
+    """Equations (1)-(13) stacked over many (inputs, N) cells.
+
+    Construct from bound scalar systems (each carries its shared
+    :class:`StepCoefficients`); :meth:`step` then advances every cell at
+    once.  Coefficient arrays are plain ``(cells,)`` float64 vectors, so
+    slicing with an index array (``system.select(keep)``) compacts the
+    batch when cells freeze.
+    """
+
+    _FIELDS = ("n", "tau", "t_supply", "p_local", "p_bc", "p_rr", "t_bc",
+               "t_read", "d_mem", "memory_modules", "memory_ops",
+               "p_interference", "p_prime", "t_interference")
+
+    def __init__(self, systems: Sequence[EquationSystem] | None = None,
+                 *, coefficients: Sequence[StepCoefficients] | None = None):
+        if coefficients is None:
+            if systems is None:
+                raise ValueError("systems or coefficients required")
+            coefficients = [system.coefficients for system in systems]
+        if not coefficients:
+            raise ValueError("at least one cell required")
+        for name in self._FIELDS:
+            values = [getattr(c, name) for c in coefficients]
+            setattr(self, name, np.asarray(values, dtype=np.float64))
+        self.n_cells = len(coefficients)
+        self._precompute()
+
+    def _precompute(self) -> None:
+        """Sweep invariants, rebuilt after construction or compaction.
+
+        Every product here mirrors the exact operand grouping of the
+        scalar :meth:`repro.core.equations.EquationSystem.step` so
+        precomputation cannot change a single bit of the iteration.
+        """
+        self._bus_probability = self.p_bc + self.p_rr
+        self._has_bus = self._bus_probability > 0.0
+        safe_bus = np.where(self._has_bus, self._bus_probability, _SAFE)
+        self._frac_bc = np.where(self._has_bus, self.p_bc / safe_bus, 0.0)
+        # (6): the (N - 1) queue factor.
+        self._n_minus_1 = self.n - 1.0
+        # (9): the read-cycle share of the mean bus service time.
+        self._t_bus_read = (1.0 - self._frac_bc) * self.t_read
+        # (7): the constant remote-read part of the bus demand.
+        self._rr_read = self.p_rr * self.t_read
+        # (12): ((n / m) * ops) * d_mem, left-associated like scalar.
+        self._mem_factor = self.n / self.memory_modules * self.memory_ops
+        self._u_mem_num = self._mem_factor * self.d_mem
+        # (8): the N > 1 branch of p_busy.
+        self._multi = self.n > 1
+        self._n_f = np.where(self._multi, self.n, 2.0)
+        # (13): the p' ~ 1 branch selection (p' never changes).
+        self._p_zero = self.p_interference <= 0.0
+        self._pp_near_one = np.isclose(self.p_prime, 1.0,
+                                       rtol=1e-9, atol=1e-12)
+        self._pp_safe = np.where(self._pp_near_one, 0.5, self.p_prime)
+        self._pp_one_minus = 1.0 - self._pp_safe
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "BatchEquationSystem":
+        """Build a batch straight from ``(cells,)`` coefficient arrays.
+
+        ``arrays`` must carry every name in ``_FIELDS``.  This is the
+        zero-copy construction path for callers (the sweep executor)
+        that derive coefficients grid-wise instead of building one
+        :class:`EquationSystem` per cell.
+        """
+        missing = [name for name in cls._FIELDS if name not in arrays]
+        if missing:
+            raise ValueError(f"missing coefficient arrays: {missing}")
+        instance = cls.__new__(cls)
+        for name in cls._FIELDS:
+            instance.__dict__[name] = np.asarray(arrays[name],
+                                                 dtype=np.float64)
+        instance.n_cells = int(instance.n.shape[0])
+        if instance.n_cells == 0:
+            raise ValueError("at least one cell required")
+        instance._precompute()
+        return instance
+
+    def select(self, keep: np.ndarray) -> "BatchEquationSystem":
+        """The sub-batch holding only the cells indexed by ``keep``."""
+        return self.from_arrays(
+            {name: getattr(self, name)[keep] for name in self._FIELDS})
+
+    def step(self, w_bus: np.ndarray, w_mem: np.ndarray,
+             q_bus: np.ndarray) -> dict[str, np.ndarray]:
+        """One vectorized sweep: previous waiting times -> proposed state.
+
+        Returns every quantity of the proposed iterate as ``(cells,)``
+        arrays (the batch analogue of the scalar
+        :class:`repro.core.equations.ModelState`), plus ``r_total``
+        (the proposed cycle time, equation 1) which doubles as the
+        convergence-trace entry.
+        """
+        n = self.n
+        # --- response times (equations 1-4) ---------------------------
+        # (13) with the constant p' branch masks precomputed.
+        power = self._pp_safe ** q_bus
+        general = self.p_interference * (1.0 - power) / self._pp_one_minus
+        value = np.where(self._pp_near_one,
+                         self.p_interference * q_bus, general)
+        n_interference = np.where((q_bus <= 0.0) | self._p_zero, 0.0, value)
+        r_local = self.p_local * n_interference * self.t_interference
+        r_broadcast = self.p_bc * (w_bus + w_mem + self.t_bc)
+        r_remote = self.p_rr * (w_bus + self.t_read)
+        r_total = (self.tau + r_local + r_broadcast + r_remote
+                   + self.t_supply)
+
+        # --- bus queueing (equations 5-10) -----------------------------
+        q_new = self._n_minus_1 * (r_broadcast + r_remote) / r_total
+        bus_service_bc = w_mem + self.t_bc
+        pbc_service = self.p_bc * bus_service_bc
+        bus_demand = pbc_service + self._rr_read
+
+        # (8) once for both servers: utilizations stacked as (2, cells).
+        u_stack = np.empty((2, n.shape[0]))
+        np.multiply(n, bus_demand, out=u_stack[0])
+        u_stack[1] = self._u_mem_num
+        u_stack /= r_total
+        p_busy = _p_busy_vec(u_stack, n, multi=self._multi, n_f=self._n_f)
+
+        busy = bus_demand > 0.0
+        safe_demand = np.where(busy, bus_demand, _SAFE)
+        t_bus = self._frac_bc * bus_service_bc + self._t_bus_read
+        weight_bc = pbc_service / safe_demand
+        t_res = (weight_bc * bus_service_bc / 2.0
+                 + (1.0 - weight_bc) * self.t_read / 2.0)
+        waiting_others = np.maximum(q_new - p_busy[0], 0.0)
+        w_bus_new = np.where(
+            busy, waiting_others * t_bus + p_busy[0] * t_res, 0.0)
+
+        # --- memory interference (equations 11-12) ---------------------
+        w_mem_new = p_busy[1] * self.d_mem / 2.0
+
+        return {
+            "w_bus": w_bus_new,
+            "w_mem": w_mem_new,
+            "q_bus": q_new,
+            "n_interference": n_interference,
+            "u_bus": u_stack[0],
+            "u_mem": u_stack[1],
+            "r_local": r_local,
+            "r_broadcast": r_broadcast,
+            "r_remote_read": r_remote,
+            "r_total": r_total,
+        }
+
+
+@dataclass(frozen=True)
+class BatchSolveResult:
+    """Per-cell outcomes of one batched solve, in input order."""
+
+    states: list[ModelState]
+    diagnostics: list[SolverDiagnostics]
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    @property
+    def all_converged(self) -> bool:
+        return all(d.converged for d in self.diagnostics)
+
+
+#: The damped-blend state fields (matches ``EquationSystem.damped``).
+_DAMPED = ("w_bus", "w_mem", "q_bus")
+#: The pass-through proposed fields carried for the final state.
+_PROPOSED = ("n_interference", "u_bus", "u_mem",
+             "r_local", "r_broadcast", "r_remote_read")
+
+
+def _snapshot(frozen: dict[str, np.ndarray], mask: np.ndarray,
+              quad: np.ndarray, proposed: dict[str, np.ndarray]) -> None:
+    """Capture the committed state of the lanes in ``mask``.
+
+    ``quad`` rows 0-2 hold the damped-blend values (what the scalar
+    engine commits); the pass-through fields come straight from the
+    proposal, exactly like :meth:`FixedPointSolver` state updates.
+    """
+    frozen["w_bus"][mask] = quad[0][mask]
+    frozen["w_mem"][mask] = quad[1][mask]
+    frozen["q_bus"][mask] = quad[2][mask]
+    for name in _PROPOSED:
+        frozen[name][mask] = proposed[name][mask]
+
+
+def solve_batch(
+    systems: Sequence[EquationSystem] | BatchEquationSystem,
+    solver: FixedPointSolver | None = None,
+    recovery: bool = True,
+    ladder: tuple[float, ...] = DEFAULT_DAMPING_LADDER,
+    traces: bool = True,
+) -> BatchSolveResult:
+    """Iterate every cell to its fixed point in lockstep.
+
+    The vectorized mirror of running
+    :meth:`FixedPointSolver.solve_with_recovery` (or plain ``solve``
+    when ``recovery=False``) on each system independently: converged
+    cells freeze while the rest keep sweeping, and cells that exhaust a
+    rung's ``max_iterations`` advance to the next (smaller) damping
+    factor warm-started.  Never raises for a non-converged cell --
+    its diagnostics come back with ``converged=False`` and the same
+    structured warnings the scalar solver attaches, so callers keep
+    their per-cell failure isolation.
+
+    ``traces=False`` skips materializing the per-sweep ``trace`` /
+    ``residual_trace`` tuples in the diagnostics (they come back
+    empty).  Iteration counts, residuals, contraction rates and
+    warnings are unaffected -- the executor path uses this because
+    grid rows and cache values never carry traces.
+    """
+    solver = solver if solver is not None else FixedPointSolver()
+    batch = (systems if isinstance(systems, BatchEquationSystem)
+             else BatchEquationSystem(systems))
+    total = batch.n_cells
+
+    factors = [solver.damping]
+    if recovery:
+        factors += [rung for rung in ladder if rung < factors[-1] - 1e-12]
+
+    # The four iterated quantities of the *live* sub-batch, stacked as
+    # one (4, live) matrix: rows w_bus, w_mem, q_bus, n_interference.
+    quad = np.zeros((4, total))
+    live = np.arange(total)
+
+    states: list[ModelState | None] = [None] * total
+    diags: list[SolverDiagnostics | None] = [None] * total
+
+    def finalize(cells: np.ndarray, columns: np.ndarray,
+                 converged: bool, rung_index: int,
+                 iters_in_rung: np.ndarray, residual: np.ndarray,
+                 frozen: dict[str, np.ndarray],
+                 cycle_matrix: np.ndarray | None,
+                 residual_matrix: np.ndarray) -> None:
+        """Reconstruct scalar-identical states and diagnostics for the
+        cells frozen in this rung (``columns`` are their positions in
+        the rung's live sub-batch)."""
+        attempted = factors[:rung_index + 1]
+        base_iterations = rung_index * solver.max_iterations
+        # Gather the frozen state columns in one shot per field.
+        gathered = {name: frozen[name][columns].tolist()
+                    for name in _DAMPED + _PROPOSED}
+        tau_values = sub.tau[columns].tolist()
+        t_supply_values = sub.t_supply[columns].tolist()
+        # One bulk transpose-and-convert instead of two NumPy column
+        # slices per cell: the rate estimate and the trace tuples want
+        # Python floats anyway (the pairwise ratio loop is an order of
+        # magnitude slower over NumPy scalars).
+        residual_columns = residual_matrix[:, columns].T.tolist()
+        cycle_columns = (cycle_matrix[:, columns].T.tolist()
+                         if cycle_matrix is not None else None)
+        for position, (cell, sweeps, final_residual) in enumerate(
+                zip(cells.tolist(), iters_in_rung.tolist(),
+                    residual.tolist())):
+            residual_list = residual_columns[position][:sweeps]
+            rate = estimate_contraction_rate(residual_list)
+            if cycle_columns is not None:
+                trace = tuple(cycle_columns[position][:sweeps])
+                residual_trace = tuple(residual_list)
+            else:
+                trace = ()
+                residual_trace = ()
+            total_iterations = base_iterations + sweeps
+            warnings: list[SolverWarning] = []
+            if not recovery:
+                # Mirror the plain ``FixedPointSolver.solve`` record:
+                # no structured warnings, single-rung ladder.
+                recovered = False
+            elif converged:
+                recovered = rung_index > 0
+                if recovered:
+                    warnings.append(SolverWarning(
+                        code="damping-recovery",
+                        message=("converged only after damping ladder "
+                                 f"{attempted} ({total_iterations} total "
+                                 "sweeps, warm-started)"),
+                        contraction_rate=rate))
+                if rate >= SATURATION_KNEE_RATE:
+                    warnings.append(SolverWarning(
+                        code="saturation-knee",
+                        message=(f"contraction rate {rate:.4f} ~ 1: the "
+                                 "system sits on the saturation knee; "
+                                 "results are converged but the iteration "
+                                 "is near its stability limit"),
+                        contraction_rate=rate))
+            else:
+                recovered = False
+                code = ("saturation-knee" if rate >= SATURATION_KNEE_RATE
+                        else "not-converged")
+                warnings.append(SolverWarning(
+                    code=code,
+                    message=("no fixed point after damping ladder "
+                             f"{attempted} ({total_iterations} total "
+                             "sweeps, final residual "
+                             f"{final_residual:.3e})"),
+                    contraction_rate=rate))
+            diags[cell] = SolverDiagnostics(
+                iterations=total_iterations,
+                converged=converged,
+                final_residual=final_residual,
+                trace=trace,
+                residual_trace=residual_trace,
+                damping=factors[rung_index],
+                ladder=tuple(attempted),
+                recovered=recovered,
+                warnings=tuple(warnings))
+            states[cell] = ModelState(
+                w_bus=gathered["w_bus"][position],
+                w_mem=gathered["w_mem"][position],
+                q_bus=gathered["q_bus"][position],
+                n_interference=gathered["n_interference"][position],
+                u_bus=gathered["u_bus"][position],
+                u_mem=gathered["u_mem"][position],
+                response=ResponseBreakdown(
+                    tau=tau_values[position],
+                    r_local=gathered["r_local"][position],
+                    r_broadcast=gathered["r_broadcast"][position],
+                    r_remote_read=gathered["r_remote_read"][position],
+                    t_supply=t_supply_values[position],
+                ))
+
+    sub = batch
+    for rung_index, factor in enumerate(factors):
+        if live.size == 0:
+            break
+        width = live.size
+        active = np.ones(width, dtype=bool)
+        iters_at_freeze = np.zeros(width, dtype=np.int64)
+        residual_at_freeze = np.full(width, np.inf)
+        frozen = {name: np.zeros(width) for name in _DAMPED + _PROPOSED}
+        cycle_rows: list[np.ndarray] = []
+        residual_rows: list[np.ndarray] = []
+        # Double buffer for the iterated-quantities matrix: ``quad`` is
+        # the committed state, ``spare`` receives the next proposal.
+        spare = np.empty_like(quad)
+        proposed: dict[str, np.ndarray] = {}
+        with np.errstate(all="ignore"):
+            for iteration in range(1, solver.max_iterations + 1):
+                proposed = sub.step(quad[0], quad[1], quad[2])
+                new = spare
+                new[0] = proposed["w_bus"]
+                new[1] = proposed["w_mem"]
+                new[2] = proposed["q_bus"]
+                new[3] = proposed["n_interference"]
+                if factor < 1.0:
+                    # Damped blend of the waiting-time quantities (the
+                    # scalar engine returns the raw proposal at factor
+                    # 1, so the blend is only applied below 1 -- ``old
+                    # + f*(new-old)`` is not bit-identical to ``new``).
+                    head = new[:3]
+                    head -= quad[:3]
+                    head *= factor
+                    head += quad[:3]
+                residual = np.abs(new - quad).max(axis=0)
+                if traces:
+                    cycle_rows.append(proposed["r_total"])
+                residual_rows.append(residual)
+                newly = active & (residual < solver.tolerance)
+                if newly.any():
+                    iters_at_freeze[newly] = iteration
+                    residual_at_freeze[newly] = residual[newly]
+                    _snapshot(frozen, newly, new, proposed)
+                    active &= ~newly
+                # Frozen lanes keep computing, but their state was
+                # captured the sweep they converged, so nothing they
+                # produce from here on is ever read.
+                quad, spare = new, quad
+                if not active.any():
+                    break
+        cycle_matrix = np.vstack(cycle_rows) if traces else None
+        residual_matrix = np.vstack(residual_rows)
+        converged_mask = ~active
+        if converged_mask.any():
+            columns = np.nonzero(converged_mask)[0]
+            finalize(live[columns], columns, True, rung_index,
+                     iters_at_freeze[columns],
+                     residual_at_freeze[columns],
+                     frozen, cycle_matrix, residual_matrix)
+        last_rung = rung_index == len(factors) - 1
+        if active.any() and last_rung:
+            _snapshot(frozen, active, quad, proposed)
+            columns = np.nonzero(active)[0]
+            sweeps = np.full(columns.size, solver.max_iterations,
+                             dtype=np.int64)
+            final_residuals = residual_matrix[-1][columns]
+            finalize(live[columns], columns, False, rung_index,
+                     sweeps, final_residuals, frozen,
+                     cycle_matrix, residual_matrix)
+            live = live[:0]
+            break
+        # Compact to the still-unconverged cells for the next rung.
+        keep = np.nonzero(active)[0]
+        live = live[keep]
+        if live.size == 0:
+            break
+        sub = sub.select(keep)
+        quad = quad[:, keep]
+
+    assert all(s is not None for s in states)
+    assert all(d is not None for d in diags)
+    return BatchSolveResult(states=states, diagnostics=diags)

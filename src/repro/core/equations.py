@@ -51,6 +51,58 @@ class ModelState:
         )
 
 
+@dataclass(frozen=True)
+class StepCoefficients:
+    """The waiting-time-independent inputs of one equation-system sweep.
+
+    Everything :meth:`EquationSystem.step` reads besides the iterated
+    state, extracted once per (inputs, N).  The scalar solver consumes
+    one instance; :class:`repro.core.batch.BatchEquationSystem` stacks
+    many of them into ``(cells,)`` arrays, so the two engines share one
+    derivation and cannot drift apart.
+    """
+
+    n: int
+    tau: float
+    t_supply: float
+    p_local: float
+    p_bc: float
+    p_rr: float
+    t_bc: float
+    t_read: float
+    d_mem: float
+    memory_modules: int
+    memory_ops: float
+    #: Appendix-B cache-interference quantities (repeated here so the
+    #: batch engine can stack them without touching ``DerivedInputs``).
+    p_interference: float
+    p_prime: float
+    t_interference: float
+
+    @classmethod
+    def from_inputs(cls, inputs: DerivedInputs, n_processors: int,
+                    interference: CacheInterference | None = None,
+                    ) -> "StepCoefficients":
+        ci = (interference if interference is not None
+              else inputs.cache_interference(n_processors))
+        return cls(
+            n=n_processors,
+            tau=inputs.workload.tau,
+            t_supply=inputs.arch.t_supply,
+            p_local=inputs.p_local,
+            p_bc=inputs.p_bc,
+            p_rr=inputs.p_rr,
+            t_bc=inputs.t_bc,
+            t_read=inputs.t_read,
+            d_mem=inputs.arch.memory_latency,
+            memory_modules=inputs.arch.memory_modules,
+            memory_ops=inputs.memory_ops_per_request(),
+            p_interference=ci.p,
+            p_prime=ci.p_prime,
+            t_interference=ci.t_interference,
+        )
+
+
 def _p_busy(utilization: float, n: int) -> float:
     """Arrival-instant busy probability from a time-average utilization.
 
@@ -79,49 +131,53 @@ class EquationSystem:
         #: Appendix-B quantities are independent of the waiting times, so
         #: they are computed once per (inputs, N).
         self.interference: CacheInterference = inputs.cache_interference(n_processors)
+        #: The same quantities flattened for one sweep; shared with the
+        #: batch engine so both read identical coefficients.
+        self.coefficients: StepCoefficients = StepCoefficients.from_inputs(
+            inputs, n_processors, self.interference)
 
     def step(self, state: ModelState) -> ModelState:
         """One sweep of the equation system."""
-        inp, n = self.inputs, self.n
+        c = self.coefficients
+        n = c.n
         ci = self.interference
 
         # --- response times (equations 1-4) ---------------------------
         n_interference = ci.n_interference(state.q_bus)
-        r_local = inp.p_local * n_interference * ci.t_interference   # (2)
-        r_broadcast = inp.p_bc * (state.w_bus + state.w_mem + inp.t_bc)  # (3)
-        r_remote = inp.p_rr * (state.w_bus + inp.t_read)             # (4)
+        r_local = c.p_local * n_interference * c.t_interference      # (2)
+        r_broadcast = c.p_bc * (state.w_bus + state.w_mem + c.t_bc)  # (3)
+        r_remote = c.p_rr * (state.w_bus + c.t_read)                 # (4)
         response = ResponseBreakdown(                                # (1)
-            tau=inp.workload.tau,
+            tau=c.tau,
             r_local=r_local,
             r_broadcast=r_broadcast,
             r_remote_read=r_remote,
-            t_supply=inp.arch.t_supply,
+            t_supply=c.t_supply,
         )
         r_total = response.total
 
         # --- bus queueing (equations 5-10) -----------------------------
         q_bus = (n - 1) * (r_broadcast + r_remote) / r_total         # (6)
-        bus_service_bc = state.w_mem + inp.t_bc
-        bus_demand = inp.p_bc * bus_service_bc + inp.p_rr * inp.t_read
+        bus_service_bc = state.w_mem + c.t_bc
+        bus_demand = c.p_bc * bus_service_bc + c.p_rr * c.t_read
         u_bus = n * bus_demand / r_total                             # (7)
         p_busy_bus = _p_busy(u_bus, n)                               # (8)
 
         w_bus = 0.0
         if bus_demand > 0.0:
-            frac_bc = inp.p_bc / (inp.p_bc + inp.p_rr)               # (9)
-            t_bus = frac_bc * bus_service_bc + (1.0 - frac_bc) * inp.t_read
-            weight_bc = inp.p_bc * bus_service_bc / bus_demand       # (10)
+            frac_bc = c.p_bc / (c.p_bc + c.p_rr)                     # (9)
+            t_bus = frac_bc * bus_service_bc + (1.0 - frac_bc) * c.t_read
+            weight_bc = c.p_bc * bus_service_bc / bus_demand         # (10)
             t_res = (weight_bc * bus_service_bc / 2.0
-                     + (1.0 - weight_bc) * inp.t_read / 2.0)
+                     + (1.0 - weight_bc) * c.t_read / 2.0)
             waiting_others = max(q_bus - p_busy_bus, 0.0)
             w_bus = waiting_others * t_bus + p_busy_bus * t_res      # (5)
 
         # --- memory interference (equations 11-12) ---------------------
-        d_mem = inp.arch.memory_latency
-        u_mem = (n / inp.arch.memory_modules
-                 * inp.memory_ops_per_request() * d_mem / r_total)   # (12)
+        u_mem = (n / c.memory_modules
+                 * c.memory_ops * c.d_mem / r_total)                 # (12)
         p_busy_mem = _p_busy(u_mem, n)
-        w_mem = p_busy_mem * d_mem / 2.0                             # (11)
+        w_mem = p_busy_mem * c.d_mem / 2.0                           # (11)
 
         return ModelState(
             w_bus=w_bus,

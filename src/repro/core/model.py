@@ -4,9 +4,9 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-from repro.core.equations import EquationSystem
+from repro.core.equations import EquationSystem, ModelState
 from repro.core.metrics import PerformanceReport
-from repro.core.solver import FixedPointSolver
+from repro.core.solver import FixedPointSolver, SolverDiagnostics
 from repro.protocols.modifications import ProtocolSpec
 from repro.workload.derived import (
     DerivedInputs,
@@ -14,6 +14,38 @@ from repro.workload.derived import (
     derive_inputs,
 )
 from repro.workload.parameters import ArchitectureParams, WorkloadParameters
+
+
+def build_report(system: EquationSystem, protocol_label: str,
+                 sharing_label: str, state: ModelState,
+                 diagnostics: SolverDiagnostics) -> PerformanceReport:
+    """Assemble the performance report for one solved fixed point.
+
+    Shared by the scalar :meth:`CacheMVAModel.solve` path and the
+    batched engine (:mod:`repro.core.batch`), so both produce
+    field-identical reports from identical states.
+    """
+    assert state.response is not None  # at least one sweep ran
+    return PerformanceReport(
+        n_processors=system.n,
+        protocol_label=protocol_label,
+        sharing_label=sharing_label,
+        response=state.response,
+        w_bus=state.w_bus,
+        w_mem=state.w_mem,
+        u_bus=min(state.u_bus, 1.0),
+        u_mem=min(state.u_mem, 1.0),
+        q_bus=state.q_bus,
+        p_interference=system.interference.p,
+        p_prime_interference=system.interference.p_prime,
+        n_interference=state.n_interference,
+        t_interference=system.interference.t_interference,
+        iterations=diagnostics.iterations,
+        converged=diagnostics.converged,
+        damping=diagnostics.damping,
+        recovered=diagnostics.recovered,
+        warnings=diagnostics.warnings,
+    )
 
 
 class CacheMVAModel:
@@ -69,27 +101,8 @@ class CacheMVAModel:
             state, diagnostics = self.solver.solve_with_recovery(system)
         else:
             state, diagnostics = self.solver.solve(system)
-        assert state.response is not None  # at least one sweep ran
-        return PerformanceReport(
-            n_processors=n_processors,
-            protocol_label=self.protocol.label,
-            sharing_label=self.sharing_label,
-            response=state.response,
-            w_bus=state.w_bus,
-            w_mem=state.w_mem,
-            u_bus=min(state.u_bus, 1.0),
-            u_mem=min(state.u_mem, 1.0),
-            q_bus=state.q_bus,
-            p_interference=system.interference.p,
-            p_prime_interference=system.interference.p_prime,
-            n_interference=state.n_interference,
-            t_interference=system.interference.t_interference,
-            iterations=diagnostics.iterations,
-            converged=diagnostics.converged,
-            damping=diagnostics.damping,
-            recovered=diagnostics.recovered,
-            warnings=diagnostics.warnings,
-        )
+        return build_report(system, self.protocol.label, self.sharing_label,
+                            state, diagnostics)
 
     def speedup(self, n_processors: int) -> float:
         """Convenience: just the speedup number."""

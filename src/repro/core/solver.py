@@ -91,13 +91,21 @@ def estimate_contraction_rate(residuals: tuple[float, ...] | list[float],
     near the fixed point; ~1.0 marks the saturation knee.  Returns 0.0
     when the sequence is too short or already at numerical zero.
     """
-    ratios = [b / a for a, b in zip(residuals, residuals[1:])
-              if a > 1e-14 and b > 1e-14]
-    window = ratios[-tail:]
-    if not window:
+    # Only the last ``tail`` valid ratios contribute, so scan backwards
+    # and stop early -- same window, same summation order, O(tail).
+    window_reversed: list[float] = []
+    for i in range(len(residuals) - 1, 0, -1):
+        a, b = residuals[i - 1], residuals[i]
+        if a > 1e-14 and b > 1e-14:
+            window_reversed.append(b / a)
+            if len(window_reversed) == tail:
+                break
+    if not window_reversed:
         return 0.0
-    log_mean = sum(math.log(r) for r in window) / len(window)
-    return math.exp(log_mean)
+    log_sum = 0.0
+    for i in range(len(window_reversed) - 1, -1, -1):
+        log_sum += math.log(window_reversed[i])
+    return math.exp(log_sum / len(window_reversed))
 
 
 @dataclass(frozen=True)

@@ -14,24 +14,31 @@ solver into infrastructure that can serve that exploration at scale:
 * :mod:`repro.service.executor` -- a parallel sweep executor fanning
   grid cells over a process pool with deterministic ordering, per-cell
   retry for simulation cells and graceful serial fallback;
+* :mod:`repro.service.schema`   -- the typed request schemas
+  (:class:`SolveRequest`, :class:`GridRequest`) shared by the
+  versioned and legacy endpoints;
 * :mod:`repro.service.app`      -- the transport-agnostic service
   facade (solve / grid / health / metrics);
 * :mod:`repro.service.http`     -- a stdlib-only HTTP JSON API
-  (``POST /solve``, ``POST /grid``, ``GET /healthz``, ``GET /metrics``)
-  behind the ``repro serve`` CLI subcommand.
+  (``POST /v1/solve``, ``POST /v1/grid``, ``GET /v1/healthz``,
+  ``GET /v1/metrics``, plus the deprecated unversioned aliases) behind
+  the ``repro serve`` CLI subcommand.
 """
 
 from repro.service.app import ModelService, ServiceError
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.executor import (
+    ENGINES,
     CellFailedError,
     CellTask,
     ExecutorSummary,
     FailedCell,
     SweepExecutor,
     SweepResult,
+    evaluate_mva_batch,
     tasks_for_spec,
 )
+from repro.service.schema import GridRequest, SolveRequest
 from repro.service.http import ServiceHTTPServer, start_server
 from repro.service.keys import canonical_key, canonicalize, task_key
 from repro.service.metrics import Counter, Histogram, MetricsRegistry
@@ -41,18 +48,22 @@ __all__ = [
     "CellFailedError",
     "CellTask",
     "Counter",
+    "ENGINES",
     "ExecutorSummary",
     "FailedCell",
+    "GridRequest",
     "Histogram",
     "MetricsRegistry",
     "ModelService",
     "ResultCache",
     "ServiceError",
     "ServiceHTTPServer",
+    "SolveRequest",
     "SweepExecutor",
     "SweepResult",
     "canonical_key",
     "canonicalize",
+    "evaluate_mva_batch",
     "start_server",
     "task_key",
     "tasks_for_spec",

@@ -9,8 +9,12 @@ executor configuration, and exposes the four operations the HTTP layer
 * :meth:`health`  -- liveness payload;
 * :meth:`metrics_text` -- the Prometheus exposition.
 
-All request parsing raises :class:`ServiceError` with an HTTP-ish
-status code, so transports translate errors uniformly.
+Request bodies are parsed by the typed schemas in
+:mod:`repro.service.schema` (shared by the ``/v1`` and legacy
+endpoints); parsing raises :class:`ServiceError` with an HTTP-ish
+status code and a stable error ``code``, so transports translate
+errors uniformly.  ``strict=True`` -- the ``/v1`` behaviour --
+additionally rejects unknown top-level request fields.
 """
 
 from __future__ import annotations
@@ -19,111 +23,50 @@ import time
 from typing import Any
 
 from repro import __version__
-from repro.analysis.grid import GridSpec
-from repro.protocols.family import PROTOCOLS
-from repro.protocols.modifications import ProtocolSpec, parse_mods
 from repro.service.cache import ResultCache
-from repro.service.executor import CellTask, SweepExecutor
+from repro.service.executor import ENGINES, CellTask, SweepExecutor
 from repro.service.metrics import MetricsRegistry
-from repro.workload.parameters import (
-    ArchitectureParams,
-    SharingLevel,
-    WorkloadParameters,
-    appendix_a_workload,
+from repro.service.schema import (
+    GridRequest,
+    ServiceError,
+    SolveRequest,
+    require,
 )
-
-_SHARING_BY_NAME = {
-    "1": SharingLevel.ONE_PERCENT,
-    "5": SharingLevel.FIVE_PERCENT,
-    "20": SharingLevel.TWENTY_PERCENT,
-}
 
 #: POST /grid sweeps are bounded so one request cannot monopolise the
 #: service (raise via ``max_grid_cells`` for trusted deployments).
 DEFAULT_MAX_GRID_CELLS = 4096
 
 
-class ServiceError(Exception):
-    """A client-visible request failure with an HTTP status code.
-
-    ``details`` (optional) is merged into the JSON error body, so a
-    total sweep failure can still report its per-cell failure records.
-    """
-
-    def __init__(self, status: int, message: str,
-                 details: dict[str, Any] | None = None):
-        super().__init__(message)
-        self.status = status
-        self.message = message
-        self.details = details
-
-
-def _require(condition: bool, message: str) -> None:
-    if not condition:
-        raise ServiceError(400, message)
-
-
-def _parse_protocol(value: Any) -> ProtocolSpec:
-    _require(isinstance(value, str), "'protocol' must be a string "
-             "(a named protocol or a modification list like '1,4')")
-    name = value.strip().lower()
-    if name in PROTOCOLS:
-        return PROTOCOLS[name]
-    try:
-        return parse_mods(value)
-    except ValueError as exc:
-        raise ServiceError(400, f"unknown protocol {value!r}: {exc}") from exc
-
-
-def _parse_sharing(value: Any) -> SharingLevel:
-    key = str(value).strip().rstrip("%")
-    level = _SHARING_BY_NAME.get(key)
-    _require(level is not None, f"unknown sharing level {value!r} "
-             f"(expected one of {sorted(_SHARING_BY_NAME)})")
-    assert level is not None
-    return level
-
-
-def _parse_sizes(value: Any, field: str) -> list[int]:
-    if isinstance(value, int) and not isinstance(value, bool):
-        value = [value]
-    _require(isinstance(value, list) and value
-             and all(isinstance(n, int) and not isinstance(n, bool)
-                     and n >= 1 for n in value),
-             f"{field!r} must be a positive integer or a non-empty "
-             "list of positive integers")
-    return list(value)
-
-
-def _parse_overrides(payload: dict[str, Any], key: str,
-                     base: Any, cls: type) -> Any:
-    """Apply a JSON object of field overrides to a frozen dataclass."""
-    overrides = payload.get(key)
-    if overrides is None:
-        return base
-    _require(isinstance(overrides, dict),
-             f"{key!r} must be an object of field overrides")
-    try:
-        return base.replace(**overrides)
-    except (TypeError, ValueError) as exc:
-        raise ServiceError(400, f"bad {key!r} overrides: {exc}") from exc
-
-
 class ModelService:
-    """One cache + metrics + executor configuration behind the API."""
+    """One cache + metrics + executor configuration behind the API.
+
+    ``engine`` is the default MVA backend (``"scalar"`` or
+    ``"batch"``); individual requests can override it with their own
+    ``engine`` field.  Cache keys are engine-independent, so switching
+    engines keeps every cached cell valid.
+    """
 
     def __init__(self, cache: ResultCache | None = None, jobs: int = 1,
                  metrics: MetricsRegistry | None = None,
-                 max_grid_cells: int = DEFAULT_MAX_GRID_CELLS):
+                 max_grid_cells: int = DEFAULT_MAX_GRID_CELLS,
+                 engine: str = "scalar"):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {engine!r}")
         self.cache = cache if cache is not None else ResultCache()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.jobs = jobs
         self.max_grid_cells = max_grid_cells
+        self.engine = engine
         self.started_at = time.time()
 
-    def _executor(self, jobs: int | None = None) -> SweepExecutor:
+    def _executor(self, jobs: int | None = None,
+                  engine: str | None = None) -> SweepExecutor:
         return SweepExecutor(jobs=jobs if jobs is not None else self.jobs,
-                             cache=self.cache, metrics=self.metrics)
+                             cache=self.cache, metrics=self.metrics,
+                             engine=engine if engine is not None
+                             else self.engine)
 
     # -- operations ------------------------------------------------------
 
@@ -132,6 +75,7 @@ class ModelService:
         return {
             "status": "ok",
             "version": __version__,
+            "engine": self.engine,
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "cache_entries": len(self.cache),
             "cache_hit_rate": round(self.cache.stats.hit_rate, 6),
@@ -141,88 +85,41 @@ class ModelService:
         """The Prometheus exposition for ``GET /metrics``."""
         return self.metrics.render()
 
-    def solve(self, payload: Any) -> dict[str, Any]:
+    def solve(self, payload: Any, strict: bool = False) -> dict[str, Any]:
         """Evaluate the MVA for one protocol at one or more sizes.
 
-        Request schema (JSON object)::
-
-            {"protocol": "berkeley" | "1,4",   # required
-             "n": 10 | [2, 6, 10],             # required
-             "sharing": "5",                   # optional, default "5"
-             "workload": {"tau": 3.0, ...},    # optional field overrides
-             "arch": {"block_size": 8, ...}}   # optional field overrides
+        See :class:`repro.service.schema.SolveRequest` for the request
+        schema.
         """
-        _require(isinstance(payload, dict), "request body must be a JSON object")
-        _require("protocol" in payload, "missing required field 'protocol'")
-        _require("n" in payload, "missing required field 'n'")
-        protocol = _parse_protocol(payload["protocol"])
-        sizes = _parse_sizes(payload["n"], "n")
-        level = _parse_sharing(payload.get("sharing", "5"))
-        workload: WorkloadParameters = _parse_overrides(
-            payload, "workload", appendix_a_workload(level),
-            WorkloadParameters)
-        arch: ArchitectureParams = _parse_overrides(
-            payload, "arch", ArchitectureParams(), ArchitectureParams)
-
-        tasks = [CellTask(protocol=protocol, sharing_label=level.label,
-                          workload=workload, n=n, arch=arch)
-                 for n in sizes]
-        result = self._executor(jobs=1).run(tasks)
+        request = SolveRequest.from_payload(payload, strict=strict)
+        tasks = [CellTask(protocol=request.protocol,
+                          sharing_label=request.sharing.label,
+                          workload=request.workload, n=n, arch=request.arch)
+                 for n in request.sizes]
+        result = self._executor(jobs=1, engine=request.engine).run(tasks)
         self._reject_total_failure(result)
         return {
-            "protocol": protocol.label,
-            "sharing": level.label,
+            "protocol": request.protocol.label,
+            "sharing": request.sharing.label,
             "results": self._cell_rows(result),
             "failures": [f.as_dict() for f in result.failures],
             "summary": self._summary_dict(result.summary),
         }
 
-    def grid(self, payload: Any) -> dict[str, Any]:
+    def grid(self, payload: Any, strict: bool = False) -> dict[str, Any]:
         """Run a sweep; the HTTP face of ``repro grid``.
 
-        Request schema (JSON object)::
-
-            {"protocols": ["write-once", "1,4"],  # required
-             "n": [2, 4, 8],                      # required
-             "sharing": ["1", "5"],               # optional, default all
-             "simulate": false,                   # optional
-             "requests": 40000,                   # optional (simulate)
-             "seed": 1234,                        # optional (simulate)
-             "jobs": 4}                           # optional worker count
+        See :class:`repro.service.schema.GridRequest` for the request
+        schema.
         """
-        _require(isinstance(payload, dict), "request body must be a JSON object")
-        _require("protocols" in payload, "missing required field 'protocols'")
-        _require("n" in payload, "missing required field 'n'")
-        raw_protocols = payload["protocols"]
-        _require(isinstance(raw_protocols, list) and raw_protocols,
-                 "'protocols' must be a non-empty list")
-        protocols = [_parse_protocol(item) for item in raw_protocols]
-        sizes = _parse_sizes(payload["n"], "n")
-        raw_sharing = payload.get("sharing")
-        if raw_sharing is None:
-            levels = list(SharingLevel)
-        else:
-            _require(isinstance(raw_sharing, list) and raw_sharing,
-                     "'sharing' must be a non-empty list")
-            levels = [_parse_sharing(item) for item in raw_sharing]
-        simulate = bool(payload.get("simulate", False))
-        jobs = payload.get("jobs")
-        if jobs is not None:
-            _require(isinstance(jobs, int) and not isinstance(jobs, bool)
-                     and jobs >= 1, "'jobs' must be a positive integer")
-
-        cell_count = (len(protocols) * len(levels) * len(sizes)
-                      * (2 if simulate else 1))
-        _require(cell_count <= self.max_grid_cells,
-                 f"grid of {cell_count} cells exceeds the per-request "
-                 f"limit of {self.max_grid_cells}")
-
-        spec = GridSpec(
-            protocols=protocols, sizes=sizes, sharing_levels=levels,
-            include_simulation=simulate,
-            sim_requests=int(payload.get("requests", 40_000)),
-            sim_seed=int(payload.get("seed", 1234)))
-        result = self._executor(jobs=jobs).run_spec(spec)
+        request = GridRequest.from_payload(payload, strict=strict)
+        require(request.cell_count <= self.max_grid_cells,
+                f"grid of {request.cell_count} cells exceeds the "
+                f"per-request limit of {self.max_grid_cells}",
+                code="grid-too-large")
+        result = self._executor(jobs=request.jobs,
+                                engine=request.engine).run_spec(
+                                    request.spec())
         self._reject_total_failure(result)
         return {
             "cells": self._cell_rows(result),
@@ -261,7 +158,8 @@ class ModelService:
             raise ServiceError(
                 500, f"all {summary.total} cells failed",
                 details={"failures": [f.as_dict()
-                                      for f in result.failures]})
+                                      for f in result.failures]},
+                code="all-cells-failed")
 
     @staticmethod
     def _summary_dict(summary: Any) -> dict[str, Any]:

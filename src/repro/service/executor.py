@@ -25,6 +25,11 @@ from the result cache, and fans the rest out over a
 * **Graceful serial fallback** -- if the platform cannot spawn worker
   processes (sandboxes, restricted containers) the executor silently
   degrades to in-process serial evaluation with identical results.
+* **Selectable MVA engine** -- ``engine="batch"`` routes a sweep's MVA
+  cells through the vectorized :mod:`repro.core.batch` solver (one
+  fixed point for the whole grid) and falls back to the scalar path if
+  the batch engine fails wholesale; cache keys are engine-independent,
+  so both engines share entries.
 
 Workers return plain dicts (the ``GridCell`` row plus solve metadata),
 which is also exactly what the cache persists, so a cache hit and a
@@ -44,7 +49,7 @@ from typing import Any
 
 from repro.analysis.grid import GridCell, GridSpec
 from repro.core.model import CacheMVAModel
-from repro.core.solver import FixedPointSolver
+from repro.core.solver import FixedPointSolver, SolverError
 from repro.protocols.modifications import ProtocolSpec
 from repro.service.cache import ResultCache
 from repro.service.keys import task_key
@@ -64,6 +69,9 @@ from repro.workload.parameters import (
 #: Seed perturbation between simulation retry attempts (prime so bumped
 #: seeds never collide with the grid's own ``sim_seed + n`` spacing).
 _RETRY_SEED_STRIDE = 100_003
+
+#: The MVA evaluation backends an executor can run.
+ENGINES = ("scalar", "batch")
 
 
 @dataclass(frozen=True)
@@ -217,6 +225,145 @@ def evaluate_task(task: CellTask) -> dict[str, Any]:
     }
 
 
+def evaluate_mva_batch(tasks: Sequence[CellTask]) -> list[dict[str, Any]]:
+    """Solve many MVA cells with one vectorized fixed point per batch.
+
+    The batched mirror of calling :func:`evaluate_task` on each cell:
+    returns the same cache-value dicts, in task order, with the same
+    per-cell failure isolation (an unsolvable cell becomes an
+    ``{"error": {...}}`` payload carrying the scalar solver's message
+    and ladder diagnostics).  Cells are grouped by solver settings --
+    one :func:`repro.core.batch.solve_batch` call per distinct solver --
+    so heterogeneous task lists stay correct.  ``elapsed_s`` is the
+    batch wall-clock amortized over its cells (the quantity the latency
+    histogram means under this engine).
+
+    Derivation is grid-wise, not cell-wise: each (workload, protocol,
+    arch) combination derives its model inputs once, the Appendix-B
+    interference quantities are computed for all of its sizes in one
+    pass (:meth:`repro.workload.derived.DerivedInputs
+    .cache_interference_many`), and the coefficient vectors feed
+    :meth:`repro.core.batch.BatchEquationSystem.from_arrays` directly
+    -- no per-cell ``EquationSystem`` objects on this path.
+    """
+    started = time.perf_counter()
+    import numpy as np
+
+    from repro.core.batch import BatchEquationSystem, solve_batch
+
+    count = len(tasks)
+    values: list[dict[str, Any] | None] = [None] * count
+    model_groups: dict[tuple[Any, ...], list[int]] = {}
+    for index, task in enumerate(tasks):
+        if task.method != "mva":
+            raise ValueError("evaluate_mva_batch only accepts MVA cells, "
+                             f"got {task.method!r}")
+        model_key = (task.workload, task.protocol, task.arch)
+        model_groups.setdefault(model_key, []).append(index)
+
+    arrays = {name: np.empty(count)
+              for name in BatchEquationSystem._FIELDS}
+    labels: list[str] = [""] * count
+    solver_groups: dict[FixedPointSolver, list[int]] = {}
+    # Identity memo in front of the value-keyed grouping: task lists
+    # usually share one solver instance, and hashing a dataclass per
+    # cell costs more than the whole grouping pass.
+    solver_memo: dict[int, list[int]] = {}
+    for (workload, protocol, arch), indices in model_groups.items():
+        try:
+            model = CacheMVAModel(workload, protocol, arch=arch)
+            inputs = model.inputs
+            sizes = [tasks[i].n for i in indices]
+            cells_ci = inputs.cache_interference_many(sizes)
+        except Exception as exc:  # noqa: BLE001 - isolate bad cells
+            elapsed = time.perf_counter() - started
+            for index in indices:
+                values[index] = _error_payload(tasks[index], exc, 1, elapsed)
+            continue
+        label = protocol.label
+        base = {
+            "tau": inputs.workload.tau,
+            "t_supply": inputs.arch.t_supply,
+            "p_local": inputs.p_local,
+            "p_bc": inputs.p_bc,
+            "p_rr": inputs.p_rr,
+            "t_bc": inputs.t_bc,
+            "t_read": inputs.t_read,
+            "d_mem": inputs.arch.memory_latency,
+            "memory_modules": inputs.arch.memory_modules,
+            "memory_ops": inputs.memory_ops_per_request(),
+        }
+        for name, value in base.items():
+            arrays[name][indices] = value
+        arrays["n"][indices] = sizes
+        arrays["p_interference"][indices] = [ci.p for ci in cells_ci]
+        arrays["p_prime"][indices] = [ci.p_prime for ci in cells_ci]
+        arrays["t_interference"][indices] = \
+            [ci.t_interference for ci in cells_ci]
+        for index in indices:
+            labels[index] = label
+            solver = tasks[index].solver
+            group = solver_memo.get(id(solver))
+            if group is None:
+                group = solver_groups.setdefault(solver, [])
+                solver_memo[id(solver)] = group
+            group.append(index)
+
+    for solver, indices in solver_groups.items():
+        batch_system = BatchEquationSystem.from_arrays(
+            {name: column[indices] for name, column in arrays.items()})
+        batch = solve_batch(batch_system, solver=solver, traces=False)
+        for position, index in enumerate(indices):
+            task = tasks[index]
+            state = batch.states[position]
+            diagnostics = batch.diagnostics[position]
+            if not diagnostics.converged:
+                exc = SolverError(
+                    "fixed point not reached after damping ladder "
+                    f"{list(diagnostics.ladder)} ({diagnostics.iterations} "
+                    "total sweeps, residual "
+                    f"{diagnostics.final_residual:.3e})",
+                    diagnostics=diagnostics)
+                values[index] = _error_payload(task, exc, 1, 0.0)
+                continue
+            # The row dict is built directly (field-for-field what
+            # ``GridCell.as_row()`` emits, with the measures computed
+            # exactly like ``PerformanceReport``) -- the consumer side
+            # turns it back into a ``GridCell`` like a cache hit.
+            response = state.response
+            cycle_time = response.total
+            values[index] = {
+                "cell": {
+                    "protocol": labels[index],
+                    "sharing": task.sharing_label,
+                    "n_processors": task.n,
+                    "speedup": (task.n * (response.tau + response.t_supply)
+                                / cycle_time),
+                    "u_bus": min(state.u_bus, 1.0),
+                    "w_bus": state.w_bus,
+                    "cycle_time": cycle_time,
+                    "processing_power": task.n * response.tau / cycle_time,
+                    "method": "mva",
+                    "sim_ci": None,
+                    "error": None,
+                },
+                "iterations": diagnostics.iterations,
+                "damping": diagnostics.damping,
+                "recovered": diagnostics.recovered,
+                "warnings": [w.as_dict() for w in diagnostics.warnings],
+                "elapsed_s": 0.0,
+            }
+
+    elapsed = time.perf_counter() - started
+    share = elapsed / len(tasks) if tasks else 0.0
+    for value in values:
+        assert value is not None
+        if "error" not in value:
+            value["elapsed_s"] = share
+        value["attempts"] = 1
+    return values  # type: ignore[return-value]
+
+
 def _error_payload(task: CellTask, exc: Exception, attempts: int,
                    elapsed_s: float) -> dict[str, Any]:
     """The structured error value a worker returns for a dead cell."""
@@ -347,20 +494,32 @@ class SweepExecutor:
         If True, the first unsolvable cell raises
         :class:`CellFailedError` (the historical behaviour).  The
         default isolates failures into per-cell error rows.
+    engine:
+        MVA evaluation backend: ``"scalar"`` (default; per-cell
+        fixed-point solves, the historical path) or ``"batch"`` (all
+        MVA cells of a sweep solved together by the vectorized
+        :mod:`repro.core.batch` engine).  Simulation cells always take
+        the scalar path.  Cache keys do not include the engine, so both
+        engines share cache entries.
     """
 
     def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
                  metrics: MetricsRegistry | None = None,
-                 sim_retries: int = 2, strict: bool = False):
+                 sim_retries: int = 2, strict: bool = False,
+                 engine: str = "scalar"):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs!r}")
         if sim_retries < 0:
             raise ValueError(f"sim_retries must be >= 0, got {sim_retries!r}")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {engine!r}")
         self.jobs = jobs
         self.cache = cache
         self.metrics = metrics
         self.sim_retries = sim_retries
         self.strict = strict
+        self.engine = engine
 
     # -- public API ------------------------------------------------------
 
@@ -389,16 +548,27 @@ class SweepExecutor:
         self._count("repro_cache_misses_total",
                     "Sweep cells that required a fresh solve.", len(pending))
 
+        batch_pending: list[tuple[int, CellTask]] = []
+        pending_rest = pending
+        if self.engine == "batch":
+            batch_pending = [(i, t) for i, t in pending if t.method == "mva"]
+            pending_rest = [(i, t) for i, t in pending if t.method != "mva"]
+
         mode = "serial"
         try:
-            if pending:
-                if self.jobs > 1 and len(pending) > 1:
-                    mode = self._run_parallel(pending, values)
+            if batch_pending:
+                self._run_batch(batch_pending, values)
+                mode = "batch"
+            if pending_rest:
+                if self.jobs > 1 and len(pending_rest) > 1:
+                    rest_mode = self._run_parallel(pending_rest, values)
                 else:
-                    for index, task in pending:
+                    for index, task in pending_rest:
                         values[index] = self._absorb(
                             task, index,
                             evaluate_with_retry(task, self.sim_retries))
+                    rest_mode = "serial"
+                mode = (f"batch+{rest_mode}" if batch_pending else rest_mode)
         finally:
             # Belt and braces: per-solve flushes already persisted every
             # completed cell, but make sure nothing dirty is left behind
@@ -439,6 +609,24 @@ class SweepExecutor:
                            summary=summary, failures=failures, meta=meta)
 
     # -- internals -------------------------------------------------------
+
+    def _run_batch(self, pending: list[tuple[int, CellTask]],
+                   values: dict[int, dict[str, Any]]) -> None:
+        """Solve the sweep's MVA cells in one vectorized batch.
+
+        If the batched engine itself dies (not a per-cell failure --
+        those come back as error payloads) the cells are re-run through
+        the scalar path, so ``engine="batch"`` can never lose a sweep
+        that scalar would have completed.
+        """
+        tasks = [task for _, task in pending]
+        try:
+            results = evaluate_mva_batch(tasks)
+        except Exception:  # noqa: BLE001 - engine fallback, not cell errors
+            results = [evaluate_with_retry(task, self.sim_retries)
+                       for task in tasks]
+        for (index, task), value in zip(pending, results):
+            values[index] = self._absorb(task, index, value)
 
     def _run_parallel(self, pending: list[tuple[int, CellTask]],
                       values: dict[int, dict[str, Any]]) -> str:

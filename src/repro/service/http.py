@@ -5,16 +5,28 @@ happens in the executor, so a :class:`ThreadingHTTPServer` front -- one
 thread per connection -- comfortably serves interactive exploration
 traffic without any third-party framework.
 
-Routes::
+Routes (the versioned API)::
 
-    GET  /healthz   liveness JSON
-    GET  /metrics   Prometheus text exposition
-    POST /solve     one protocol, one or more sizes
-    POST /grid      full sweep (protocols x sharing x N)
+    GET  /v1/healthz   liveness JSON
+    GET  /v1/metrics   Prometheus text exposition
+    POST /v1/solve     one protocol, one or more sizes
+    POST /v1/grid      full sweep (protocols x sharing x N)
 
-Errors are JSON: ``{"error": "..."}`` with a 400 for malformed bodies
-or parameters, 404 for unknown routes, 405 for wrong methods and 500
-for unexpected failures.
+``/v1`` errors are a structured envelope::
+
+    {"error": {"code": "bad-request", "message": "...", "detail": ...}}
+
+with 400 for malformed bodies or parameters (including unknown
+top-level request fields, which ``/v1`` rejects), 404 for unknown
+routes, 405 (plus an ``Allow`` header) for wrong methods, 413 for
+oversized bodies and 500 for unexpected failures.
+
+The legacy unversioned paths (``/solve``, ``/grid``, ``/healthz``,
+``/metrics``) keep working with their historical lenient parsing and
+flat error bodies (``{"error": "..."}``), but every legacy response
+carries a ``Deprecation: true`` header and a ``Link`` to its ``/v1``
+successor (RFC 8594 style); see ``docs/api.md`` for the deprecation
+policy.
 """
 
 from __future__ import annotations
@@ -30,6 +42,13 @@ _LOG = logging.getLogger(__name__)
 
 #: Reject request bodies over this size before reading them fully.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: The current (only) API version prefix.
+API_VERSION = "v1"
+
+#: Endpoint -> allowed method; shared by routing and 405 ``Allow``.
+_GET_ROUTES = ("/healthz", "/metrics")
+_POST_ROUTES = ("/solve", "/grid")
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -54,46 +73,82 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # -- routing ---------------------------------------------------------
 
+    def _route(self) -> tuple[str, bool]:
+        """Split the request path into (endpoint, versioned)."""
+        prefix = f"/{API_VERSION}"
+        if self.path == prefix or self.path.startswith(prefix + "/"):
+            return self.path[len(prefix):] or "/", True
+        return self.path, False
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
-        if self.path == "/healthz":
-            self._send_json(200, service.health())
-        elif self.path == "/metrics":
+        endpoint, versioned = self._route()
+        if endpoint == "/healthz":
+            self._send_json(200, service.health(),
+                            deprecated=not versioned)
+        elif endpoint == "/metrics":
             self._send_text(200, service.metrics_text(),
                             content_type="text/plain; version=0.0.4; "
-                                         "charset=utf-8")
-        elif self.path in ("/solve", "/grid"):
-            self._send_json(405, {"error": f"{self.path} requires POST"})
+                                         "charset=utf-8",
+                            deprecated=not versioned)
+        elif endpoint in _POST_ROUTES:
+            self._send_error(405, f"{self.path} requires POST", versioned,
+                             deprecated=not versioned,
+                             headers={"Allow": "POST"})
         else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            self._send_error(404, f"unknown path {self.path!r}", versioned)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
-        if self.path == "/solve":
+        endpoint, versioned = self._route()
+        if endpoint == "/solve":
             handler = service.solve
-        elif self.path == "/grid":
+        elif endpoint == "/grid":
             handler = service.grid
-        elif self.path in ("/healthz", "/metrics"):
-            self._send_json(405, {"error": f"{self.path} requires GET"})
+        elif endpoint in _GET_ROUTES:
+            self._send_error(405, f"{self.path} requires GET", versioned,
+                             deprecated=not versioned,
+                             headers={"Allow": "GET"})
             return
         else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            self._send_error(404, f"unknown path {self.path!r}", versioned)
             return
         try:
             payload = self._read_json_body()
-            response = handler(payload)
+            response = handler(payload, strict=versioned)
         except ServiceError as exc:
-            body: dict[str, Any] = {"error": exc.message}
-            if exc.details:
-                body.update(exc.details)
-            self._send_json(exc.status, body)
+            self._send_json(exc.status, self._error_body(exc, versioned),
+                            deprecated=not versioned)
         except Exception as exc:  # noqa: BLE001 - must answer the client
             _LOG.exception("unhandled error serving %s", self.path)
-            self._send_json(500, {"error": f"internal error: {exc}"})
+            self._send_json(
+                500,
+                self._error_body(
+                    ServiceError(500, f"internal error: {exc}"), versioned),
+                deprecated=not versioned)
         else:
-            self._send_json(200, response)
+            self._send_json(200, response, deprecated=not versioned)
 
     # -- helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _error_body(exc: ServiceError, versioned: bool) -> dict[str, Any]:
+        """The ``/v1`` envelope, or the historical flat legacy body."""
+        if versioned:
+            return {"error": {"code": exc.code, "message": exc.message,
+                              "detail": exc.details}}
+        body: dict[str, Any] = {"error": exc.message}
+        if exc.details:
+            body.update(exc.details)
+        return body
+
+    def _send_error(self, status: int, message: str, versioned: bool,
+                    deprecated: bool = False,
+                    headers: dict[str, str] | None = None) -> None:
+        self._send_json(status,
+                        self._error_body(ServiceError(status, message),
+                                         versioned),
+                        deprecated=deprecated, headers=headers)
 
     def _read_json_body(self) -> Any:
         try:
@@ -111,16 +166,29 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             raise ServiceError(400, "request body is not valid JSON: "
                                     f"{exc}") from exc
 
-    def _send_json(self, status: int, payload: Any) -> None:
+    def _send_json(self, status: int, payload: Any,
+                   deprecated: bool = False,
+                   headers: dict[str, str] | None = None) -> None:
         self._send_text(status, json.dumps(payload),
-                        content_type="application/json")
+                        content_type="application/json",
+                        deprecated=deprecated, headers=headers)
 
-    def _send_text(self, status: int, body: str,
-                   content_type: str) -> None:
+    def _send_text(self, status: int, body: str, content_type: str,
+                   deprecated: bool = False,
+                   headers: dict[str, str] | None = None) -> None:
         data = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        if deprecated:
+            # RFC 8594-style deprecation signalling on every legacy
+            # (unversioned) response, pointing at the /v1 successor.
+            self.send_header("Deprecation", "true")
+            self.send_header(
+                "Link", f"</{API_VERSION}{self.path}>; "
+                        'rel="successor-version"')
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 

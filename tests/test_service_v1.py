@@ -1,0 +1,267 @@
+"""The versioned /v1 API: unified schema, error envelope, deprecation.
+
+The legacy unversioned endpoints are covered by
+``test_service_http.py`` (which must keep passing unchanged); this
+module covers what /v1 adds on top:
+
+* the same four operations under ``/v1/*``;
+* the structured error envelope ``{"error": {code, message, detail}}``;
+* strict request parsing (unknown top-level fields are a 400);
+* ``Deprecation`` + ``Link`` successor headers on every legacy
+  response, and their absence on /v1;
+* ``Allow`` headers on 405 responses;
+* the ``engine`` request field and the typed schema module itself.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ModelService, start_server
+from repro.service.schema import (
+    GridRequest,
+    ServiceError,
+    SolveRequest,
+)
+from repro.workload.parameters import SharingLevel
+
+
+@pytest.fixture()
+def server():
+    server = start_server(ModelService())
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _get(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=10) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def _post(server, path, body):
+    request = urllib.request.Request(
+        server.url + path, data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+class TestV1Routes:
+    def test_healthz(self, server):
+        status, headers, body = _get(server, "/v1/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["engine"] == "scalar"
+        assert "Deprecation" not in headers
+
+    def test_metrics(self, server):
+        _post(server, "/v1/solve", {"protocol": "berkeley", "n": 4})
+        status, headers, body = _get(server, "/v1/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "repro_cells_solved_total" in body.decode()
+        assert "Deprecation" not in headers
+
+    def test_solve_matches_legacy_payload(self, server):
+        body = {"protocol": "berkeley", "n": [4, 10]}
+        status, headers, v1 = _post(server, "/v1/solve", body)
+        assert status == 200
+        assert "Deprecation" not in headers
+        _, _, legacy = _post(server, "/solve", body)
+        # Same unified schema; the second call is all cache hits, so
+        # align the summary's cache fields before comparing.
+        assert v1["protocol"] == legacy["protocol"]
+        assert [r["speedup"] for r in v1["results"]] == \
+            [r["speedup"] for r in legacy["results"]]
+        assert set(v1) == set(legacy)
+
+    def test_grid(self, server):
+        status, _, payload = _post(server, "/v1/grid", {
+            "protocols": ["write-once", "1"], "n": [2, 4],
+            "sharing": ["5"]})
+        assert status == 200
+        assert len(payload["cells"]) == 4
+        assert payload["summary"]["total"] == 4
+
+    def test_unknown_v1_path_is_404_with_envelope(self, server):
+        status, _, body = _get(server, "/v1/nope")
+        assert status == 404
+        error = json.loads(body)["error"]
+        assert error["code"] == "not-found"
+        assert "unknown path" in error["message"]
+
+    def test_unknown_version_is_404(self, server):
+        status, _, _ = _get(server, "/v2/healthz")
+        assert status == 404
+
+
+class TestV1ErrorEnvelope:
+    def test_missing_field(self, server):
+        status, _, payload = _post(server, "/v1/solve", {"n": 4})
+        assert status == 400
+        error = payload["error"]
+        assert error["code"] == "missing-field"
+        assert "missing required field 'protocol'" in error["message"]
+
+    def test_bad_engine(self, server):
+        status, _, payload = _post(server, "/v1/solve", {
+            "protocol": "berkeley", "n": 4, "engine": "quantum"})
+        assert status == 400
+        assert payload["error"]["code"] == "bad-request"
+        assert "'engine'" in payload["error"]["message"]
+
+    def test_unknown_top_level_field_rejected(self, server):
+        status, _, payload = _post(server, "/v1/solve", {
+            "protocol": "berkeley", "n": 4, "shading": "5"})
+        assert status == 400
+        error = payload["error"]
+        assert error["code"] == "unknown-field"
+        assert "'shading'" in error["message"]
+        assert error["detail"]["unknown"] == ["shading"]
+        assert "sharing" in error["detail"]["allowed"]
+
+    def test_legacy_ignores_unknown_fields(self, server):
+        """The lenient historical behaviour is preserved off /v1."""
+        status, _, payload = _post(server, "/solve", {
+            "protocol": "berkeley", "n": 4, "shading": "5"})
+        assert status == 200
+        assert payload["results"][0]["speedup"] > 0
+
+    def test_method_not_allowed_carries_allow_header(self, server):
+        status, headers, body = _get(server, "/v1/solve")
+        assert status == 405
+        assert headers["Allow"] == "POST"
+        assert json.loads(body)["error"]["code"] == "method-not-allowed"
+        status, headers, _ = _post(server, "/v1/metrics", {})
+        assert status == 405
+        assert headers["Allow"] == "GET"
+
+
+class TestLegacyDeprecation:
+    def test_legacy_responses_carry_deprecation_headers(self, server):
+        for path, kind in (("/healthz", "get"), ("/metrics", "get")):
+            status, headers, _ = _get(server, path)
+            assert status == 200
+            assert headers["Deprecation"] == "true"
+            assert f"</v1{path}>" in headers["Link"]
+            assert 'rel="successor-version"' in headers["Link"]
+
+    def test_legacy_solve_is_deprecated_but_works(self, server):
+        request = urllib.request.Request(
+            server.url + "/solve",
+            data=json.dumps({"protocol": "berkeley", "n": 4}).encode(),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            assert resp.status == 200
+            assert resp.headers["Deprecation"] == "true"
+            assert "</v1/solve>" in resp.headers["Link"]
+
+    def test_404_is_not_marked_deprecated(self, server):
+        _, headers, _ = _get(server, "/nope")
+        assert "Deprecation" not in headers
+
+
+class TestEngineField:
+    def test_solve_with_batch_engine_matches_scalar(self, server):
+        scalar = _post(server, "/v1/solve",
+                       {"protocol": "berkeley", "n": [4, 10]})[2]
+        # Fresh service so the cache cannot mask the engine.
+        batch_server = start_server(ModelService())
+        thread = threading.Thread(target=batch_server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            batch = _post(batch_server, "/v1/solve",
+                          {"protocol": "berkeley", "n": [4, 10],
+                           "engine": "batch"})[2]
+        finally:
+            batch_server.shutdown()
+            batch_server.server_close()
+            thread.join(timeout=5)
+        assert batch["summary"]["mode"] == "batch"
+        assert [r["speedup"] for r in batch["results"]] == \
+            [r["speedup"] for r in scalar["results"]]
+
+    def test_grid_engine_field(self, server):
+        status, _, payload = _post(server, "/v1/grid", {
+            "protocols": ["write-once"], "n": [2, 4], "sharing": ["5"],
+            "engine": "batch"})
+        assert status == 200
+        assert payload["summary"]["mode"] == "batch"
+        assert all(c["status"] == "ok" for c in payload["cells"])
+
+    def test_service_default_engine(self):
+        service = ModelService(engine="batch")
+        payload = service.grid({"protocols": ["write-once"], "n": [2],
+                                "sharing": ["5"]})
+        assert payload["summary"]["mode"] == "batch"
+        with pytest.raises(ValueError):
+            ModelService(engine="quantum")
+
+
+class TestSchemaModule:
+    def test_solve_request_defaults(self):
+        request = SolveRequest.from_payload(
+            {"protocol": "berkeley", "n": 4})
+        assert request.sizes == (4,)
+        assert request.sharing is SharingLevel.FIVE_PERCENT
+        assert request.engine is None
+
+    def test_grid_request_cell_count_doubles_with_simulate(self):
+        base = {"protocols": ["write-once"], "n": [2, 4],
+                "sharing": ["5"]}
+        plain = GridRequest.from_payload(base)
+        assert plain.cell_count == 2
+        sim = GridRequest.from_payload(dict(base, simulate=True))
+        assert sim.cell_count == 4
+
+    def test_grid_request_spec_round_trip(self):
+        request = GridRequest.from_payload(
+            {"protocols": ["write-once", "1,4"], "n": [2, 8],
+             "sharing": ["1", "20"], "seed": 7, "requests": 1000})
+        spec = request.spec()
+        assert [p.label for p in spec.protocols] == ["Write-Once", "WO+1+4"]
+        assert tuple(spec.sizes) == (2, 8)
+        assert spec.sim_seed == 7
+        assert spec.sim_requests == 1000
+
+    def test_strict_rejects_unknown_fields_with_code(self):
+        with pytest.raises(ServiceError) as excinfo:
+            GridRequest.from_payload(
+                {"protocols": ["write-once"], "n": [2], "engines": "batch"},
+                strict=True)
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "unknown-field"
+        assert excinfo.value.details["unknown"] == ["engines"]
+
+    def test_lenient_accepts_unknown_fields(self):
+        request = GridRequest.from_payload(
+            {"protocols": ["write-once"], "n": [2], "engines": "batch"})
+        assert request.engine is None
+
+    def test_bad_requests_field(self):
+        with pytest.raises(ServiceError) as excinfo:
+            GridRequest.from_payload(
+                {"protocols": ["write-once"], "n": [2], "requests": "many"})
+        assert "'requests'" in excinfo.value.message
+
+    def test_error_code_defaults_from_status(self):
+        assert ServiceError(400, "x").code == "bad-request"
+        assert ServiceError(404, "x").code == "not-found"
+        assert ServiceError(500, "x").code == "internal-error"
+        assert ServiceError(418, "x").code == "error"
+        assert ServiceError(400, "x", code="custom").code == "custom"
