@@ -13,6 +13,8 @@ Subcommands:
 * ``serve``    -- HTTP JSON evaluation service (cache + process pool)
 * ``stress``   -- robustness sweep over extreme parameter corners with
   per-cell failure isolation
+* ``verify``   -- invariant audits, engine differential oracle and the
+  golden-corpus regression diff (quick/full tiers)
 """
 
 from __future__ import annotations
@@ -270,6 +272,28 @@ def _cmd_stress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import run_verify, write_corpus
+    from repro.verify.golden import DEFAULT_CORPUS_PATH
+
+    golden_path = args.golden or DEFAULT_CORPUS_PATH
+    if args.update_golden:
+        path = write_corpus(golden_path)
+        print(f"golden corpus regenerated at {path}")
+        return 0
+    report = run_verify(tier=args.tier, golden_path=golden_path)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.text())
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"violation report written to {args.output}",
+              file=sys.stderr)
+    return report.exit_code
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ModelService, ResultCache, start_server
 
@@ -414,6 +438,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="MVA backend: per-cell scalar solves "
                                "(default) or one vectorized batch")
     p_stress.set_defaults(func=_cmd_stress)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="run the verification suite: paper-law invariant audits, "
+             "the scalar/batch/DES differential oracle and the "
+             "golden-corpus regression diff")
+    p_verify.add_argument("--tier", choices=["quick", "full"],
+                          default="quick",
+                          help="quick: the <60s CI push gate; full: "
+                               "deeper model checking, larger DES "
+                               "samples, stress corners")
+    p_verify.add_argument("--json", action="store_true",
+                          help="emit the structured violation report as "
+                               "JSON instead of text")
+    p_verify.add_argument("--output", "-o",
+                          help="also write the JSON violation report to "
+                               "a file (CI artifact)")
+    p_verify.add_argument("--update-golden", action="store_true",
+                          help="regenerate the golden corpus instead of "
+                               "verifying; review the diff and commit")
+    p_verify.add_argument("--golden",
+                          help="golden corpus path (default: the "
+                               "committed package file)")
+    p_verify.set_defaults(func=_cmd_verify)
 
     p_serve = sub.add_parser("serve",
                              help="run the HTTP JSON evaluation service "

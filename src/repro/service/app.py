@@ -6,6 +6,7 @@ executor configuration, and exposes the four operations the HTTP layer
 
 * :meth:`solve`   -- one or more MVA solutions for a named protocol;
 * :meth:`grid`    -- a full (protocols x sharing x N) sweep;
+* :meth:`verify`  -- the in-process verification suite (``/v1`` only);
 * :meth:`health`  -- liveness payload;
 * :meth:`metrics_text` -- the Prometheus exposition.
 
@@ -30,6 +31,7 @@ from repro.service.schema import (
     GridRequest,
     ServiceError,
     SolveRequest,
+    VerifyRequest,
     require,
 )
 
@@ -126,6 +128,24 @@ class ModelService:
             "failures": [f.as_dict() for f in result.failures],
             "summary": self._summary_dict(result.summary),
         }
+
+    def verify(self, payload: Any, strict: bool = False) -> dict[str, Any]:
+        """Run the verification suite; the HTTP face of ``repro verify``.
+
+        See :class:`repro.service.schema.VerifyRequest` for the request
+        schema.  Violations are *data*, not errors: a run that finds
+        them still returns 200 with ``ok: false`` and the structured
+        violation records; only a malformed request or an internal
+        failure is an error.  Every run also feeds this service's
+        ``repro_verify_checks_total`` / ``repro_verify_violations_total``
+        counters.
+        """
+        request = VerifyRequest.from_payload(payload, strict=strict)
+        # Imported lazily: repro.verify pulls in the simulator and the
+        # stress corners, which the service does not otherwise need.
+        from repro.verify.runner import run_verify
+        report = run_verify(tier=request.tier, metrics=self.metrics)
+        return report.as_dict()
 
     # -- response assembly -----------------------------------------------
 

@@ -11,6 +11,7 @@ Routes (the versioned API)::
     GET  /v1/metrics   Prometheus text exposition
     POST /v1/solve     one protocol, one or more sizes
     POST /v1/grid      full sweep (protocols x sharing x N)
+    POST /v1/verify    run the verification suite (no legacy alias)
 
 ``/v1`` errors are a structured envelope::
 
@@ -48,7 +49,9 @@ API_VERSION = "v1"
 
 #: Endpoint -> allowed method; shared by routing and 405 ``Allow``.
 _GET_ROUTES = ("/healthz", "/metrics")
-_POST_ROUTES = ("/solve", "/grid")
+_POST_ROUTES = ("/solve", "/grid", "/verify")
+#: Endpoints that exist only under ``/v1`` (no legacy alias to honour).
+_VERSIONED_ONLY = ("/verify",)
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -91,7 +94,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                             content_type="text/plain; version=0.0.4; "
                                          "charset=utf-8",
                             deprecated=not versioned)
-        elif endpoint in _POST_ROUTES:
+        elif (endpoint in _POST_ROUTES
+              and (versioned or endpoint not in _VERSIONED_ONLY)):
             self._send_error(405, f"{self.path} requires POST", versioned,
                              deprecated=not versioned,
                              headers={"Allow": "POST"})
@@ -101,10 +105,17 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
         endpoint, versioned = self._route()
+        if endpoint in _VERSIONED_ONLY and not versioned:
+            self._send_error(404, f"unknown path {self.path!r} "
+                             f"(did you mean /{API_VERSION}{self.path}?)",
+                             versioned)
+            return
         if endpoint == "/solve":
             handler = service.solve
         elif endpoint == "/grid":
             handler = service.grid
+        elif endpoint == "/verify":
+            handler = service.verify
         elif endpoint in _GET_ROUTES:
             self._send_error(405, f"{self.path} requires GET", versioned,
                              deprecated=not versioned,

@@ -207,6 +207,37 @@ class SolveRequest:
 
 
 @dataclass(frozen=True)
+class VerifyRequest:
+    """``POST /v1/verify``: run the verification suite in-process.
+
+    JSON schema::
+
+        {"tier": "quick" | "full"}   # optional, default "quick"
+
+    ``/v1``-only -- there is no legacy unversioned predecessor to stay
+    compatible with, so the endpoint is always strict.
+    """
+
+    tier: str = "quick"
+
+    FIELDS: ClassVar[frozenset[str]] = frozenset({"tier"})
+
+    @classmethod
+    def from_payload(cls, payload: Any,
+                     strict: bool = False) -> "VerifyRequest":
+        require(isinstance(payload, dict),
+                "request body must be a JSON object")
+        if strict:
+            reject_unknown_fields(payload, cls.FIELDS)
+        tier = payload.get("tier", "quick")
+        from repro.verify.runner import TIERS
+        require(isinstance(tier, str) and tier in TIERS,
+                f"'tier' must be one of {list(TIERS)}, got {tier!r}",
+                code="unknown-tier")
+        return cls(tier=tier)
+
+
+@dataclass(frozen=True)
 class GridRequest:
     """``POST /v1/grid`` (and legacy ``/grid``): a full sweep.
 

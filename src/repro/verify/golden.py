@@ -1,0 +1,158 @@
+"""Golden-corpus regression store: frozen snapshots of solved cells.
+
+The corpus freezes the scalar engine's answers for every one of the 16
+modification combinations x the three Appendix-A sharing levels x the
+Table-4.1 corner sizes (1, 10, 20, 100 -- the N=1 degenerate case, the
+knee, past the knee, and deep saturation).  It is committed at
+``src/repro/verify/golden_corpus.json`` and compared on every verify
+run, so *any* numerical drift -- an edited equation, a reordered
+reduction, a changed default -- is caught against values a human
+reviewed, not against the code's own current output.
+
+Update workflow (deliberate, reviewed):
+
+    repro verify --update-golden        # regenerate the corpus
+    git diff src/repro/verify/golden_corpus.json   # review the drift
+    # commit together with the change that explains it
+
+Regeneration is reproducible: the corpus is a pure function of the
+model code (scalar solves from cold starts, no seeds involved), so two
+runs of ``--update-golden`` on the same tree produce byte-identical
+files.  Comparison uses ``FLOAT_RTOL`` (1e-9) rather than exact
+equality only to tolerate cross-platform libm differences; any real
+model change moves values by orders of magnitude more.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.core.model import CacheMVAModel
+from repro.protocols.modifications import all_combinations
+from repro.verify.invariants import Audit
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+#: Bump when the corpus layout (not the values) changes.
+CORPUS_SCHEMA_VERSION = 1
+
+#: The Table-4.1 corner sizes frozen in the corpus.
+GOLDEN_SIZES: tuple[int, ...] = (1, 10, 20, 100)
+
+#: Relative tolerance for float comparison against the corpus.
+FLOAT_RTOL = 1e-9
+
+#: The committed corpus file (package data, so the CLI and service can
+#: verify from any working directory).
+DEFAULT_CORPUS_PATH = Path(__file__).parent / "golden_corpus.json"
+
+#: The float measures frozen per cell.
+_MEASURES = ("speedup", "u_bus", "w_bus", "w_mem", "cycle_time",
+             "processing_power", "q_bus")
+
+
+def _cell_id(protocol: str, sharing: str, n: int) -> str:
+    return f"{protocol}|{sharing}|{n}"
+
+
+def generate_corpus() -> dict[str, Any]:
+    """Solve the whole corpus grid fresh (scalar engine, cold starts)."""
+    cells: list[dict[str, Any]] = []
+    for spec in all_combinations():
+        for level in SharingLevel:
+            model = CacheMVAModel(appendix_a_workload(level),
+                                  protocol=spec)
+            for n in GOLDEN_SIZES:
+                report = model.solve(n, recovery=True)
+                cells.append({
+                    "protocol": spec.label,
+                    "sharing": level.label,
+                    "n": n,
+                    "speedup": report.speedup,
+                    "u_bus": report.u_bus,
+                    "w_bus": report.w_bus,
+                    "w_mem": report.w_mem,
+                    "cycle_time": report.cycle_time,
+                    "processing_power": report.processing_power,
+                    "q_bus": report.q_bus,
+                    "iterations": report.iterations,
+                    "converged": report.converged,
+                })
+    return {
+        "schema_version": CORPUS_SCHEMA_VERSION,
+        "engine": "scalar",
+        "sizes": list(GOLDEN_SIZES),
+        "cells": cells,
+    }
+
+
+def write_corpus(path: Path | str = DEFAULT_CORPUS_PATH) -> Path:
+    """Regenerate the corpus file (the ``--update-golden`` flow)."""
+    path = Path(path)
+    corpus = generate_corpus()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(corpus, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(path: Path | str = DEFAULT_CORPUS_PATH) -> dict[str, Any]:
+    return json.loads(Path(path).read_text())
+
+
+def _close(observed: float, frozen: float, rtol: float) -> bool:
+    return math.isclose(observed, frozen, rel_tol=rtol, abs_tol=rtol)
+
+
+def compare_corpus(path: Path | str = DEFAULT_CORPUS_PATH,
+                   rtol: float = FLOAT_RTOL) -> Audit:
+    """Re-solve the corpus grid and diff it against the frozen file."""
+    audit = Audit(subject="golden-corpus")
+    path = Path(path)
+    if not audit.check(path.exists(), "golden-missing",
+                       f"no golden corpus at {path}; run "
+                       "`repro verify --update-golden` and commit it"):
+        return audit
+    frozen = load_corpus(path)
+    if not audit.check(
+            frozen.get("schema_version") == CORPUS_SCHEMA_VERSION,
+            "golden-schema",
+            f"corpus schema {frozen.get('schema_version')!r} does not "
+            f"match the code's {CORPUS_SCHEMA_VERSION}; regenerate with "
+            "`repro verify --update-golden`"):
+        return audit
+
+    frozen_cells = {_cell_id(c["protocol"], c["sharing"], c["n"]): c
+                    for c in frozen["cells"]}
+    current = generate_corpus()
+    current_ids = set()
+    for cell in current["cells"]:
+        cid = _cell_id(cell["protocol"], cell["sharing"], cell["n"])
+        current_ids.add(cid)
+        if not audit.check(cid in frozen_cells, "golden-cell-missing",
+                           f"cell {cid} is not in the committed corpus; "
+                           "regenerate with `repro verify "
+                           "--update-golden`"):
+            continue
+        ref = frozen_cells[cid]
+        for measure in _MEASURES:
+            audit.check(
+                _close(cell[measure], ref[measure], rtol),
+                "golden-drift",
+                f"{cid}: {measure} drifted from the committed golden "
+                "value",
+                observed=cell[measure],
+                expected=f"== {ref[measure]!r} (rtol {rtol:g})",
+                measure=measure, cell=cid)
+        audit.check(cell["converged"] == ref["converged"],
+                    "golden-drift",
+                    f"{cid}: convergence flag changed "
+                    f"({ref['converged']} -> {cell['converged']})",
+                    cell=cid, measure="converged")
+    for cid in frozen_cells:
+        audit.check(cid in current_ids, "golden-cell-extra",
+                    f"committed corpus has cell {cid} the code no "
+                    "longer produces; regenerate with `repro verify "
+                    "--update-golden`")
+    return audit

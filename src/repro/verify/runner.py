@@ -1,0 +1,176 @@
+"""The verification run: tiers, sections, metrics.
+
+``run_verify`` drives every checker in :mod:`repro.verify` over the
+full protocol family and folds the results into one
+:class:`~repro.verify.violations.VerifyReport`:
+
+* **quick** (< 60 s, the CI push gate): invariant audits on every one
+  of the 16 modification combinations x 3 sharing levels x 4 sizes,
+  sweep-shape audits, protocol model-checking at depth 3,
+  scalar-vs-batch differential at zero tolerance on the same grid, the
+  golden-corpus diff, and a seeded all-16 MVA-vs-DES pass at reduced
+  sample size.
+* **full**: quick, plus deeper protocol model-checking (depth 4),
+  larger DES samples at two system sizes, and the Section-5 stress
+  corners through the failure-isolating executor.
+
+Every violation is counted in ``repro_verify_violations_total``
+(labelled by law and severity) when a metrics registry is supplied;
+``repro_verify_checks_total`` counts the laws evaluated, so rates stay
+meaningful.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis.stress import run_stress
+from repro.core.model import CacheMVAModel, build_report
+from repro.core.solver import FixedPointSolver
+from repro.protocols.modifications import all_combinations
+from repro.service.executor import CellTask
+from repro.service.metrics import MetricsRegistry
+from repro.verify import differential, golden, invariants
+from repro.verify.invariants import Audit
+from repro.verify.violations import VerifyReport
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+#: The tiers ``run_verify`` understands.
+TIERS = ("quick", "full")
+
+#: Sizes audited per (protocol, sharing): degenerate, pre-knee, knee,
+#: deep saturation.
+AUDIT_SIZES: tuple[int, ...] = (1, 2, 10, 100)
+
+#: DES sample sizes per tier (measured requests / system size).
+_DES_QUICK = (8, 4_000)
+_DES_FULL_SIZES = (4, 16)
+_DES_FULL_REQUESTS = 20_000
+
+#: Fixed seed for the differential DES runs (results are then
+#: reproducible and cacheable; the determinism tests pin the same one).
+DES_SEED = 1234
+
+
+def _record(metrics: MetricsRegistry | None, report: VerifyReport,
+            audit: Audit, section: str) -> None:
+    report.add(audit.violations, audit.checks, section)
+    if metrics is None:
+        return
+    metrics.counter(
+        "repro_verify_checks_total",
+        "Verification laws evaluated.",
+    ).labels(section=section).inc(audit.checks)
+    for violation in audit.violations:
+        metrics.counter(
+            "repro_verify_violations_total",
+            "Verification laws violated.",
+        ).labels(law=violation.law,
+                 severity=violation.severity.value).inc()
+
+
+def run_verify(tier: str = "quick",
+               metrics: MetricsRegistry | None = None,
+               golden_path: Path | str = golden.DEFAULT_CORPUS_PATH,
+               ) -> VerifyReport:
+    """Run every checker at the given tier; never raises on violations."""
+    if tier not in TIERS:
+        raise ValueError(f"tier must be one of {TIERS}, got {tier!r}")
+    started = time.perf_counter()
+    report = VerifyReport(tier=tier)
+    solver = FixedPointSolver(raise_on_divergence=False)
+    protocols = all_combinations()
+
+    # -- invariant audits over the whole family ------------------------
+    mva_tasks: list[CellTask] = []
+    for spec in protocols:
+        for level in SharingLevel:
+            workload = appendix_a_workload(level)
+            model = CacheMVAModel(workload, protocol=spec)
+            subject = f"{spec.label} {level.label}"
+            _record(metrics, report,
+                    invariants.audit_derived_inputs(model.inputs, subject),
+                    "derived-inputs")
+            reports = []
+            for n in AUDIT_SIZES:
+                cell_subject = f"{subject} N={n}"
+                system = model.system(n)
+                _record(metrics, report,
+                        invariants.audit_interference(
+                            system.interference, n, cell_subject),
+                        "interference")
+                state, diag = solver.solve(system)
+                cell_report = build_report(system, spec.label,
+                                           level.label, state, diag)
+                _record(metrics, report,
+                        invariants.audit_state(system, state,
+                                               cell_subject),
+                        "fixed-points")
+                _record(metrics, report,
+                        invariants.audit_report(cell_report,
+                                                cell_subject),
+                        "fixed-points")
+                _record(metrics, report,
+                        invariants.audit_diagnostics(
+                            diag, solver.tolerance, cell_subject),
+                        "fixed-points")
+                _record(metrics, report,
+                        invariants.audit_capacity_bound(
+                            cell_report, model.inputs, cell_subject),
+                        "fixed-points")
+                reports.append(cell_report)
+                mva_tasks.append(CellTask(
+                    protocol=spec, sharing_label=level.label,
+                    workload=workload, n=n))
+            _record(metrics, report,
+                    invariants.audit_sweep_shape(reports, subject),
+                    "sweep-shape")
+
+    # -- protocol state-machine model checking -------------------------
+    depth = 4 if tier == "full" else 3
+    for spec in protocols:
+        _record(metrics, report,
+                invariants.audit_protocol_machine(spec, spec.label,
+                                                  depth=depth),
+                "protocol-machine")
+
+    # -- differential oracle: scalar vs batch at zero tolerance --------
+    _record(metrics, report, differential.diff_scalar_batch(mva_tasks),
+            "engine-parity")
+
+    # -- golden corpus -------------------------------------------------
+    _record(metrics, report, golden.compare_corpus(golden_path),
+            "golden-corpus")
+
+    # -- differential oracle: MVA vs seeded DES ------------------------
+    des_cells: list[tuple[int, int]] = [_DES_QUICK]
+    if tier == "full":
+        des_cells = [(n, _DES_FULL_REQUESTS) for n in _DES_FULL_SIZES]
+    workload = appendix_a_workload(SharingLevel.FIVE_PERCENT)
+    for spec in protocols:
+        for n, requests in des_cells:
+            task = CellTask(protocol=spec, sharing_label="5%",
+                            workload=workload, n=n, method="sim",
+                            sim_requests=requests, sim_seed=DES_SEED + n)
+            _record(metrics, report, differential.diff_mva_des(task),
+                    "mva-vs-des")
+
+    # -- stress corners (full tier): failure isolation -----------------
+    if tier == "full":
+        audit = Audit(subject="stress-corners")
+        stress = run_stress()
+        audit.check(stress.isolated, "stress-isolation",
+                    "a stress sweep must resolve every cell "
+                    "independently (converged or isolated error row)",
+                    equation="Section 5")
+        audit.check(stress.converged + len(stress.failures)
+                    == stress.total, "stress-accounting",
+                    "every stress cell must be accounted for",
+                    observed=float(stress.converged
+                                   + len(stress.failures)),
+                    expected=f"== {stress.total}")
+        _record(metrics, report, audit, "stress-corners")
+
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

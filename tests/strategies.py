@@ -1,0 +1,54 @@
+"""Shared hypothesis strategies for model-level property tests.
+
+One home for the generators that used to be copy-pasted between
+``test_core_properties.py`` and ``test_core_batch.py`` (and that the
+verify-subsystem tests reuse): random-but-valid workloads, arbitrary
+protocol-modification combinations, and system sizes.  Keeping them
+here means a new workload field is added to *one* strategy and every
+property suite picks it up.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.protocols.modifications import ProtocolSpec
+from repro.workload.parameters import WorkloadParameters
+
+
+@st.composite
+def workloads(draw) -> WorkloadParameters:
+    """Any *valid* workload: mix normalized, all rates in [0, 1].
+
+    The three mix fractions are drawn independently then normalized
+    (with ``p_private`` bounded away from zero so the normalization is
+    well-conditioned); every hit ratio / conditional probability is a
+    free draw from the unit interval.
+    """
+    prob = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+    a = draw(st.floats(min_value=0.05, max_value=1.0))
+    b = draw(st.floats(min_value=0.0, max_value=1.0))
+    c = draw(st.floats(min_value=0.0, max_value=1.0))
+    total = a + b + c
+    return WorkloadParameters(
+        tau=draw(st.floats(min_value=0.0, max_value=20.0)),
+        p_private=a / total, p_sro=b / total, p_sw=c / total,
+        h_private=draw(prob), h_sro=draw(prob), h_sw=draw(prob),
+        r_private=draw(prob), r_sw=draw(prob),
+        amod_private=draw(prob), amod_sw=draw(prob),
+        csupply_sro=draw(prob), csupply_sw=draw(prob),
+        wb_csupply=draw(prob), rep_p=draw(prob), rep_sw=draw(prob),
+    )
+
+
+#: Any of the 16 modification combinations (including the base WO).
+PROTOCOLS = st.builds(
+    lambda mods: ProtocolSpec.of(*mods),
+    st.sets(st.integers(min_value=1, max_value=4), max_size=4))
+
+#: A single system size spanning degenerate (N=1) to deep saturation.
+SIZES = st.integers(min_value=1, max_value=128)
+
+#: A small mix of sizes for batch-engine lanes.
+SIZE_LISTS = st.lists(st.integers(min_value=1, max_value=128),
+                      min_size=1, max_size=4)

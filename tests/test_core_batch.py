@@ -16,7 +16,6 @@ import math
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.batch import (
     BatchEquationSystem,
@@ -28,11 +27,9 @@ from repro.core.equations import _p_busy
 from repro.core.model import TABLE_41_SIZES, CacheMVAModel
 from repro.core.solver import FixedPointSolver
 from repro.protocols.modifications import ProtocolSpec, all_combinations
-from repro.workload.parameters import (
-    SharingLevel,
-    WorkloadParameters,
-    appendix_a_workload,
-)
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+from tests.strategies import PROTOCOLS, SIZE_LISTS, workloads
 
 #: Compare iterated quantities to the solver's own convergence
 #: tolerance: two runs that each stopped within ``tolerance`` of the
@@ -184,33 +181,8 @@ class TestVectorizedPieces:
             BatchEquationSystem(None)
 
 
-@st.composite
-def workloads(draw) -> WorkloadParameters:
-    prob = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
-    a = draw(st.floats(min_value=0.05, max_value=1.0))
-    b = draw(st.floats(min_value=0.0, max_value=1.0))
-    c = draw(st.floats(min_value=0.0, max_value=1.0))
-    total = a + b + c
-    return WorkloadParameters(
-        tau=draw(st.floats(min_value=0.0, max_value=20.0)),
-        p_private=a / total, p_sro=b / total, p_sw=c / total,
-        h_private=draw(prob), h_sro=draw(prob), h_sw=draw(prob),
-        r_private=draw(prob), r_sw=draw(prob),
-        amod_private=draw(prob), amod_sw=draw(prob),
-        csupply_sro=draw(prob), csupply_sw=draw(prob),
-        wb_csupply=draw(prob), rep_p=draw(prob), rep_sw=draw(prob),
-    )
-
-
-PROTOCOLS = st.builds(
-    lambda mods: ProtocolSpec.of(*mods),
-    st.sets(st.integers(min_value=1, max_value=4), max_size=4))
-SIZES = st.lists(st.integers(min_value=1, max_value=128),
-                 min_size=1, max_size=4)
-
-
 class TestBatchProperty:
-    @given(workload=workloads(), protocol=PROTOCOLS, sizes=SIZES)
+    @given(workload=workloads(), protocol=PROTOCOLS, sizes=SIZE_LISTS)
     @settings(max_examples=100, deadline=None)
     def test_converged_cells_match_scalar_solver(self, workload, protocol,
                                                  sizes):

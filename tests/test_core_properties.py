@@ -24,29 +24,7 @@ from repro.core.solver import FixedPointSolver
 from repro.protocols.modifications import ProtocolSpec
 from repro.workload.parameters import WorkloadParameters
 
-
-@st.composite
-def workloads(draw) -> WorkloadParameters:
-    prob = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
-    a = draw(st.floats(min_value=0.05, max_value=1.0))
-    b = draw(st.floats(min_value=0.0, max_value=1.0))
-    c = draw(st.floats(min_value=0.0, max_value=1.0))
-    total = a + b + c
-    return WorkloadParameters(
-        tau=draw(st.floats(min_value=0.0, max_value=20.0)),
-        p_private=a / total, p_sro=b / total, p_sw=c / total,
-        h_private=draw(prob), h_sro=draw(prob), h_sw=draw(prob),
-        r_private=draw(prob), r_sw=draw(prob),
-        amod_private=draw(prob), amod_sw=draw(prob),
-        csupply_sro=draw(prob), csupply_sw=draw(prob),
-        wb_csupply=draw(prob), rep_p=draw(prob), rep_sw=draw(prob),
-    )
-
-
-PROTOCOLS = st.builds(
-    lambda mods: ProtocolSpec.of(*mods),
-    st.sets(st.integers(min_value=1, max_value=4), max_size=4))
-SIZES = st.integers(min_value=1, max_value=128)
+from tests.strategies import PROTOCOLS, SIZES, workloads
 
 #: Tolerant solver: extreme random workloads may need damping-free
 #: iteration past the default comfort zone.
@@ -124,7 +102,37 @@ class TestParameterMonotonicity:
         better = w.replace(h_private=min(w.h_private + 0.02, 1.0))
         _, improved = _solve(better, ProtocolSpec(), n)
         assume(base.converged and improved.converged)
-        assert improved.speedup >= base.speedup * (1.0 - 1e-6)
+        # Exact parameter monotonicity is not a theorem of the
+        # approximate MVA: in deep bus saturation the eq-(6) arrival
+        # estimate can invert the trend slightly even though the
+        # detailed simulator shows the true system improving (see
+        # test_saturated_hit_rate_dip_is_bounded for the pinned
+        # counterexample).  Demand monotonicity away from saturation,
+        # a bounded dip inside it.
+        dip = 0.05 if base.u_bus > 0.85 else 1e-6
+        assert improved.speedup >= base.speedup * (1.0 - dip)
+
+    def test_saturated_hit_rate_dip_is_bounded(self):
+        """Pinned hypothesis counterexample (2026-08): at tau=0 with
+        all-write private traffic the MVA's contention terms grow
+        faster than the shrinking service demand, so raising
+        h_private 0.9375 -> 0.9575 *lowers* speedup ~0.5 % while the
+        seeded DES improves ~4 % on the same inputs.  The inversion is
+        an approximation artifact, not an implementation bug (the
+        fixed point satisfies every eq-(1)-(13) identity); pin that it
+        stays small so a model change that widens it fails loudly."""
+        w = WorkloadParameters(
+            tau=0.0, p_private=0.5, p_sro=0.5, p_sw=0.0,
+            h_private=0.9375, h_sro=0.75, h_sw=0.0,
+            r_private=0.0, r_sw=0.0, amod_private=1.0, amod_sw=0.0,
+            csupply_sro=1.0, csupply_sw=0.0, wb_csupply=1.0,
+            rep_p=0.0, rep_sw=0.0)
+        _, base = _solve(w, ProtocolSpec(), 3)
+        _, improved = _solve(w.replace(h_private=0.9575), ProtocolSpec(), 3)
+        assert base.converged and improved.converged
+        assert base.u_bus > 0.85  # only bites in deep saturation
+        assert improved.speedup < base.speedup  # the artifact exists...
+        assert improved.speedup >= base.speedup * 0.98  # ...and is tiny
 
     @given(workloads(), st.integers(min_value=2, max_value=32))
     @settings(max_examples=60, deadline=None)

@@ -265,3 +265,94 @@ class TestSchemaModule:
         assert ServiceError(500, "x").code == "internal-error"
         assert ServiceError(418, "x").code == "error"
         assert ServiceError(400, "x", code="custom").code == "custom"
+
+
+class TestVerifyEndpoint:
+    """POST /v1/verify: the verification suite behind the service.
+
+    The endpoint is /v1-only (it never existed unversioned, so there
+    is no legacy behaviour to preserve); most cases stub ``run_verify``
+    to keep the suite fast, plus one real quick-tier run end to end.
+    """
+
+    def _stub(self, monkeypatch, report=None):
+        from repro.verify.violations import VerifyReport
+        import repro.verify.runner as runner_mod
+
+        calls = []
+
+        def fake(tier="quick", metrics=None, **kwargs):
+            calls.append({"tier": tier, "metrics": metrics})
+            stubbed = report or VerifyReport(tier=tier, checks=7)
+            return stubbed
+
+        monkeypatch.setattr(runner_mod, "run_verify", fake)
+        return calls
+
+    def test_verify_default_tier(self, server, monkeypatch):
+        calls = self._stub(monkeypatch)
+        status, headers, payload = _post(server, "/v1/verify", {})
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["tier"] == "quick"
+        assert payload["checks"] == 7
+        assert "Deprecation" not in headers
+        # The run feeds the service's own metrics registry.
+        assert calls[0]["metrics"] is server.service.metrics
+
+    def test_verify_reports_violations_as_data(self, server,
+                                               monkeypatch):
+        """A failing verification is still HTTP 200: violations are
+        the payload, not a transport error."""
+        from repro.verify.violations import VerifyReport, Violation
+
+        failing = VerifyReport(tier="quick", checks=3)
+        failing.add([Violation(law="engine-parity", subject="cell",
+                               message="drift")], 0, "engine-parity")
+        self._stub(monkeypatch, report=failing)
+        status, _, payload = _post(server, "/v1/verify", {})
+        assert status == 200
+        assert payload["ok"] is False
+        assert payload["violations"][0]["law"] == "engine-parity"
+
+    def test_bad_tier_envelope(self, server):
+        status, _, payload = _post(server, "/v1/verify",
+                                   {"tier": "exhaustive"})
+        assert status == 400
+        error = payload["error"]
+        assert error["code"] == "unknown-tier"
+        assert "'tier'" in error["message"]
+
+    def test_unknown_field_rejected(self, server):
+        status, _, payload = _post(server, "/v1/verify",
+                                   {"tier": "quick", "golden": "x"})
+        assert status == 400
+        error = payload["error"]
+        assert error["code"] == "unknown-field"
+        assert error["detail"]["unknown"] == ["golden"]
+        assert error["detail"]["allowed"] == ["tier"]
+
+    def test_no_legacy_alias(self, server):
+        """Unversioned /verify never existed: 404 (with a hint), not a
+        deprecated alias -- and GET on it is 404 too, while GET on the
+        real /v1/verify is a 405 with Allow."""
+        status, headers, payload = _post(server, "/verify", {})
+        assert status == 404
+        assert "Deprecation" not in headers
+        assert "/v1/verify" in payload["error"]
+        status, headers, _ = _get(server, "/verify")
+        assert status == 404
+        status, headers, _ = _get(server, "/v1/verify")
+        assert status == 405
+        assert headers["Allow"] == "POST"
+
+    def test_real_quick_run_end_to_end(self, server):
+        status, _, payload = _post(server, "/v1/verify",
+                                   {"tier": "quick"})
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["checks"] > 10_000
+        assert sorted(payload["sections"]) == list(payload["sections"])
+        _, _, body = _get(server, "/v1/metrics")
+        text = body.decode()
+        assert "repro_verify_checks_total" in text

@@ -1,0 +1,133 @@
+"""The golden-corpus regression store (repro.verify.golden).
+
+Pins three properties: the committed corpus matches the code *now*
+(the snapshot test CI runs on every push), regeneration is
+byte-reproducible (so ``--update-golden`` diffs are reviewable), and
+the comparator actually detects every class of drift -- value changes,
+missing cells, extra cells, schema bumps, a missing file.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.verify.golden import (
+    CORPUS_SCHEMA_VERSION,
+    DEFAULT_CORPUS_PATH,
+    GOLDEN_SIZES,
+    compare_corpus,
+    generate_corpus,
+    load_corpus,
+    write_corpus,
+)
+from repro.verify.violations import Severity
+
+
+def _errors(audit):
+    return [v for v in audit.violations if v.severity is Severity.ERROR]
+
+
+class TestCommittedCorpus:
+    def test_corpus_is_committed_as_package_data(self):
+        assert DEFAULT_CORPUS_PATH.exists(), (
+            "golden corpus missing; run `repro verify --update-golden` "
+            "and commit src/repro/verify/golden_corpus.json")
+
+    def test_snapshot_matches_current_code(self):
+        """The regression gate: the code's answers today equal the
+        reviewed, committed answers (rtol 1e-9)."""
+        audit = compare_corpus()
+        assert audit.checks > 1000  # 192 cells x 8 measures + coverage
+        assert not audit.violations, audit.violations[:5]
+
+    def test_corpus_spans_the_full_family(self):
+        corpus = load_corpus()
+        cells = corpus["cells"]
+        assert len(cells) == 16 * 3 * len(GOLDEN_SIZES)
+        assert {c["n"] for c in cells} == set(GOLDEN_SIZES)
+        assert len({c["protocol"] for c in cells}) == 16
+        assert {c["sharing"] for c in cells} == {"1%", "5%", "20%"}
+        assert all(c["converged"] for c in cells)
+
+
+class TestUpdateWorkflow:
+    def test_regeneration_is_byte_identical(self, tmp_path):
+        """Two `--update-golden` runs on the same tree produce the
+        same bytes -- the corpus is a pure function of the code."""
+        a = write_corpus(tmp_path / "a.json")
+        b = write_corpus(tmp_path / "b.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_regenerated_corpus_matches_committed(self, tmp_path):
+        """A fresh regeneration equals the committed file exactly (not
+        just within rtol): catching an un-committed corpus update."""
+        fresh = write_corpus(tmp_path / "fresh.json")
+        assert json.loads(fresh.read_text()) == load_corpus()
+
+    def test_fresh_corpus_compares_clean(self, tmp_path):
+        path = write_corpus(tmp_path / "golden.json")
+        assert not compare_corpus(path).violations
+
+
+class TestDriftDetection:
+    def _mutated(self, tmp_path, mutate):
+        corpus = generate_corpus()
+        mutate(corpus)
+        path = tmp_path / "golden.json"
+        path.write_text(json.dumps(corpus))
+        return path
+
+    def test_value_drift(self, tmp_path):
+        def bump(corpus):
+            corpus["cells"][7]["speedup"] *= 1.0 + 1e-6
+
+        audit = compare_corpus(self._mutated(tmp_path, bump))
+        drift = [v for v in _errors(audit) if v.law == "golden-drift"]
+        assert len(drift) == 1
+        assert drift[0].context["measure"] == "speedup"
+
+    def test_tiny_drift_within_rtol_tolerated(self, tmp_path):
+        """1e-12 relative wobble (cross-platform libm territory) must
+        not fail the gate."""
+        def wobble(corpus):
+            corpus["cells"][7]["speedup"] *= 1.0 + 1e-12
+
+        assert not compare_corpus(
+            self._mutated(tmp_path, wobble)).violations
+
+    def test_convergence_flag_drift(self, tmp_path):
+        def flip(corpus):
+            corpus["cells"][0]["converged"] = False
+
+        audit = compare_corpus(self._mutated(tmp_path, flip))
+        assert any(v.law == "golden-drift"
+                   and v.context.get("measure") == "converged"
+                   for v in _errors(audit))
+
+    def test_missing_cell(self, tmp_path):
+        def drop(corpus):
+            del corpus["cells"][3]
+
+        audit = compare_corpus(self._mutated(tmp_path, drop))
+        assert any(v.law == "golden-cell-missing"
+                   for v in _errors(audit))
+
+    def test_extra_cell(self, tmp_path):
+        def add(corpus):
+            ghost = dict(corpus["cells"][0], n=777)
+            corpus["cells"].append(ghost)
+
+        audit = compare_corpus(self._mutated(tmp_path, add))
+        assert any(v.law == "golden-cell-extra" for v in _errors(audit))
+
+    def test_schema_mismatch(self, tmp_path):
+        def bump_schema(corpus):
+            corpus["schema_version"] = CORPUS_SCHEMA_VERSION + 1
+
+        audit = compare_corpus(self._mutated(tmp_path, bump_schema))
+        assert any(v.law == "golden-schema" for v in _errors(audit))
+
+    def test_missing_file(self, tmp_path):
+        audit = compare_corpus(tmp_path / "nope.json")
+        assert any(v.law == "golden-missing" for v in _errors(audit))
+        assert "--update-golden" in audit.violations[0].message
