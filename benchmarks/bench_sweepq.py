@@ -1,0 +1,116 @@
+"""E15: the sharded sweep queue -- chunked dispatch vs serial vs pool.
+
+The sweep queue (``repro.sweepq``) replaced the per-cell process pool
+with chunk leases: one IPC round-trip and one vectorized
+:func:`repro.core.batch.solve_batch` call per chunk instead of one
+pickled task per cell.  This bench records the wall-clock of the same
+MVA stress grid through three dispatch paths:
+
+* **serial**  -- ``SweepExecutor(jobs=1)``, the scalar reference;
+* **chunked** -- ``SweepExecutor(jobs=4)``, the queue-backed default;
+* **pool**    -- ``SweepExecutor(jobs=4, dispatch="cells")``, the old
+  per-cell process pool E13 used to measure (0.96x on one core).
+
+Asserted: chunked >= 2x over serial, and rows byte-identical across
+all three paths.  Numbers land in ``output/sweepq.txt``
+(human-readable) and ``benchmarks/BENCH_sweepq.json`` (committed
+machine-readable trajectory; CI regenerates and uploads it as an
+artifact without overwriting the committed baseline).
+
+Quick mode (``REPRO_BENCH_QUICK=1``) shrinks the grid and skips the
+speedup floor -- tiny grids cannot amortize the batch engine's fixed
+costs.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import once  # noqa: E402
+
+from repro.analysis.stress import stress_tasks
+from repro.service.executor import SweepExecutor
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: 16 protocol combinations x 4 parameter corners x these sizes.
+STRESS_SIZES = (4, 16, 64) if QUICK else tuple(range(4, 260, 8))
+
+#: Chunked-over-serial floor asserted on the full stress grid.  The
+#: container this repo is benchmarked on has one core, so the whole
+#: gain is chunk amortization (batch solves + one journal round-trip
+#: per lease), not parallelism -- measured ~2.9x, asserted with slack.
+SPEEDUP_FLOOR = 2.0
+
+_REPS = 1 if QUICK else 3
+
+
+def _best(fn, reps=_REPS):
+    """Best-of-N wall clock: the standard guard against scheduler
+    noise for sub-second measurements."""
+    times = []
+    result = None
+    for _ in range(reps):
+        started = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - started)
+    return min(times), result
+
+
+def test_chunked_sweep_vs_serial_vs_pool(benchmark, emit):
+    tasks = stress_tasks(sizes=STRESS_SIZES)
+    SweepExecutor(jobs=4).run(tasks[:8])  # warm imports / first-fork cost
+
+    def run_all():
+        serial_s, serial = _best(lambda: SweepExecutor(jobs=1).run(tasks))
+        chunked_s, chunked = _best(lambda: SweepExecutor(jobs=4).run(tasks))
+        pool_s, pool = _best(
+            lambda: SweepExecutor(jobs=4, dispatch="cells").run(tasks),
+            reps=1)  # the known-slow path: one timing is plenty
+        return serial_s, serial, chunked_s, chunked, pool_s, pool
+
+    serial_s, serial, chunked_s, chunked, pool_s, pool = once(
+        benchmark, run_all)
+
+    reference = [cell.as_row() for cell in serial.cells]
+    chunked_identical = [c.as_row() for c in chunked.cells] == reference
+    pool_identical = [c.as_row() for c in pool.cells] == reference
+    speedup = serial_s / chunked_s
+
+    emit("sweepq.txt",
+         f"E15 sweep-queue dispatch on the stress grid "
+         f"({len(tasks)} MVA cells, {os.cpu_count() or 1} cores):\n"
+         f"  serial (jobs=1)          : {serial_s:7.3f} s\n"
+         f"  chunked (jobs=4)         : {chunked_s:7.3f} s "
+         f"({speedup:.2f}x, mode={chunked.summary.mode})\n"
+         f"  per-cell pool (jobs=4)   : {pool_s:7.3f} s "
+         f"({serial_s / pool_s:.2f}x, mode={pool.summary.mode})\n")
+
+    record = {
+        "schema": 1,
+        "cells": len(tasks),
+        "quick": QUICK,
+        "cores": os.cpu_count() or 1,
+        "serial_s": serial_s,
+        "chunked_s": chunked_s,
+        "pool_s": pool_s,
+        "chunked_speedup": speedup,
+        "pool_speedup": serial_s / pool_s,
+        "chunked_mode": chunked.summary.mode,
+        "pool_mode": pool.summary.mode,
+        "rows_identical": chunked_identical and pool_identical,
+        "speedup_floor": None if QUICK else SPEEDUP_FLOOR,
+    }
+    out = Path(__file__).resolve().parent / "BENCH_sweepq.json"
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    assert chunked_identical, "chunked rows must be identical to serial"
+    assert pool_identical, "pool rows must be identical to serial"
+    if not QUICK:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"chunked sweep {speedup:.2f}x over serial, "
+            f"floor is {SPEEDUP_FLOOR}x")

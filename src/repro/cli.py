@@ -11,6 +11,8 @@ Subcommands:
 * ``hierarchy``-- two-level-bus extension (clusters on a global bus)
 * ``estimate`` -- measure Appendix-A parameters from a synthetic trace
 * ``serve``    -- HTTP JSON evaluation service (cache + process pool)
+* ``sweep``    -- resumable sharded sweep through the journal-backed
+  queue (worker leases, crash recovery, ``--resume JOB_ID``)
 * ``stress``   -- robustness sweep over extreme parameter corners with
   per-cell failure isolation
 * ``verify``   -- invariant audits, engine differential oracle and the
@@ -208,18 +210,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     from repro.analysis.grid import GridSpec, to_csv, to_json
     from repro.service import CellFailedError, ResultCache, SweepExecutor
 
-    if args.all_combinations:
-        from repro.protocols.modifications import all_combinations
-        protocols = all_combinations()
-    elif args.protocols:
-        protocols = []
-        for text in args.protocols:
-            name = text.strip().lower()
-            protocols.append(PROTOCOLS[name] if name in PROTOCOLS
-                             else parse_mods(text))
-    else:
-        protocols = [ProtocolSpec(), ProtocolSpec.of(1), ProtocolSpec.of(1, 4)]
-    spec = GridSpec(protocols=protocols, sizes=args.n,
+    spec = GridSpec(protocols=_grid_protocols(args), sizes=args.n,
                     include_simulation=args.simulate,
                     sim_requests=args.requests)
     # Everything goes through the service executor; the default
@@ -257,6 +248,102 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     else:
         print(payload, end="")
     return 1 if failed == result.summary.total else 0
+
+
+def _grid_protocols(args: argparse.Namespace) -> list[ProtocolSpec]:
+    """The ``grid``/``sweep`` protocol selection (shared flags)."""
+    if args.all_combinations:
+        from repro.protocols.modifications import all_combinations
+        return all_combinations()
+    if args.protocols:
+        protocols = []
+        for text in args.protocols:
+            name = text.strip().lower()
+            protocols.append(PROTOCOLS[name] if name in PROTOCOLS
+                             else parse_mods(text))
+        return protocols
+    return [ProtocolSpec(), ProtocolSpec.of(1), ProtocolSpec.of(1, 4)]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.grid import GridCell, GridSpec, to_csv, to_json
+    from repro.service import ResultCache, tasks_for_spec
+    from repro.sweepq import SweepQueue, UnknownJobError
+
+    cache_path = args.cache
+    if cache_path is None and args.state_dir:
+        # A persistent queue needs a persistent result store to resume
+        # from; keep it next to the journal unless told otherwise.
+        import os
+        cache_path = os.path.join(args.state_dir, "cache.json")
+    try:
+        cache = ResultCache(path=cache_path) if cache_path \
+            else ResultCache()
+        queue = SweepQueue(state_dir=args.state_dir, cache=cache,
+                           chunk_size=args.chunk_size,
+                           lease_ttl=args.lease_ttl)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.resume:
+            job_id = args.resume
+            try:
+                tasks = queue.tasks_for(job_id)
+            except UnknownJobError:
+                print(f"error: unknown sweep job {job_id!r} (known: "
+                      f"{[j.job_id for j in queue.journal.list_jobs()]})",
+                      file=sys.stderr)
+                return 2
+        else:
+            spec = GridSpec(protocols=_grid_protocols(args), sizes=args.n,
+                            include_simulation=args.simulate,
+                            sim_requests=args.requests, sim_seed=args.seed)
+            tasks = tasks_for_spec(spec)
+            job_id = queue.submit(tasks)
+        outcome = queue.run(job_id, workers=args.workers,
+                            chaos_kill=args.chaos_kill)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        queue.close()
+
+    cells = []
+    failed = 0
+    for task, value in zip(tasks, outcome.values):
+        error = value.get("error")
+        if error is not None:
+            failed += 1
+            cells.append(GridCell.failed(
+                protocol=task.protocol.label, sharing=task.sharing_label,
+                n_processors=task.n, method=task.method,
+                error=f"{error.get('type', 'Exception')}: "
+                      f"{error.get('message', '')}"))
+        else:
+            cells.append(GridCell(**value["cell"]))
+    counters = outcome.counters
+    recovery = (f", {counters['requeues']} requeued"
+                if counters["requeues"] else "")
+    print(f"sweep job {job_id}: {counters['done']}/{counters['chunks']} "
+          f"chunks done ({counters['cells_done']} cells, "
+          f"{sum(outcome.cached)} from cache{recovery}); "
+          f"{outcome.wall_seconds:.3f}s wall, workers={outcome.workers} "
+          f"({outcome.mode})", file=sys.stderr)
+    if args.state_dir:
+        print(f"resume with: repro sweep --state-dir {args.state_dir} "
+              f"--resume {job_id}", file=sys.stderr)
+    if failed:
+        print(f"{failed} of {len(cells)} cells failed; error rows "
+              "exported in place", file=sys.stderr)
+    payload = to_json(cells) if args.json else to_csv(cells)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(payload)
+        print(f"wrote {len(cells)} cells to {args.output}")
+    else:
+        print(payload, end="")
+    return 1 if failed == len(cells) else 0
 
 
 def _cmd_stress(args: argparse.Namespace) -> int:
@@ -299,9 +386,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         cache = ResultCache(path=args.cache) if args.cache else ResultCache()
-        server = start_server(ModelService(cache=cache, jobs=args.jobs,
-                                           engine=args.engine),
-                              host=args.host, port=args.port)
+        server = start_server(
+            ModelService(cache=cache, jobs=args.jobs, engine=args.engine,
+                         sweep_state_dir=args.sweep_state_dir),
+            host=args.host, port=args.port)
     except OSError as exc:  # port in use, unresolvable host, ...
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -424,6 +512,46 @@ def build_parser() -> argparse.ArgumentParser:
                              "whole sweep")
     p_grid.set_defaults(func=_cmd_grid)
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="resumable sharded sweep: journal-backed queue, chunk "
+             "leases, batch-engine workers, crash recovery")
+    p_sweep.add_argument("--protocols", nargs="+",
+                         help="named protocols or modification lists")
+    p_sweep.add_argument("--all-combinations", action="store_true",
+                         help="sweep all 16 modification combinations")
+    p_sweep.add_argument("-n", type=int, nargs="+",
+                         default=[1, 2, 4, 8, 16, 32])
+    p_sweep.add_argument("--simulate", action="store_true",
+                         help="add detailed-simulation rows per cell")
+    p_sweep.add_argument("--requests", type=int, default=40_000)
+    p_sweep.add_argument("--seed", type=int, default=1234,
+                         help="simulation seed base")
+    p_sweep.add_argument("--workers", type=_positive_int, default=1,
+                         help="worker processes leasing chunks")
+    p_sweep.add_argument("--chunk-size", type=_positive_int,
+                         help="cells per leased chunk (default: "
+                              "auto-sized from the grid and workers)")
+    p_sweep.add_argument("--lease-ttl", type=float, default=15.0,
+                         help="seconds before an unheartbeaten lease is "
+                              "requeued to another worker")
+    p_sweep.add_argument("--state-dir",
+                         help="persistent queue directory (journal + "
+                              "cache); required to resume across runs")
+    p_sweep.add_argument("--cache",
+                         help="result-cache JSON file (default: "
+                              "cache.json inside --state-dir)")
+    p_sweep.add_argument("--resume", metavar="JOB_ID",
+                         help="resume a journaled job instead of "
+                              "submitting a new sweep")
+    p_sweep.add_argument("--chaos-kill", type=int, default=0,
+                         metavar="N",
+                         help="fault injection: SIGKILL the first N "
+                              "workers after their first lease (testing)")
+    p_sweep.add_argument("--json", action="store_true")
+    p_sweep.add_argument("--output", "-o", help="write to a file")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
     p_stress = sub.add_parser("stress",
                               help="robustness sweep: all 16 modification "
                                    "combinations x extreme parameter "
@@ -478,6 +606,9 @@ def build_parser() -> argparse.ArgumentParser:
                          default="scalar",
                          help="default MVA backend for requests that do "
                               "not set their own 'engine' field")
+    p_serve.add_argument("--sweep-state-dir",
+                         help="persistent directory for async /v1/sweep "
+                              "jobs (journal survives restarts)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_report = sub.add_parser("report", help="compact live reproduction "

@@ -84,12 +84,20 @@ class ProtocolSpec:
 
     @property
     def label(self) -> str:
-        """Display name: the given name, or e.g. "WO+1+4" / "Write-Once"."""
-        if self.name:
-            return self.name
-        if not self.mods:
-            return "Write-Once"
-        return "WO+" + "+".join(str(int(m)) for m in sorted(self.mods))
+        """Display name: the given name, or e.g. "WO+1+4" / "Write-Once".
+
+        Memoized on the instance: sweep row assembly asks per cell."""
+        cached = self.__dict__.get("_label")
+        if cached is None:
+            if self.name:
+                cached = self.name
+            elif not self.mods:
+                cached = "Write-Once"
+            else:
+                cached = "WO+" + "+".join(
+                    str(int(m)) for m in sorted(self.mods))
+            object.__setattr__(self, "_label", cached)
+        return cached
 
     def with_mods(self, *mods: int | Modification) -> "ProtocolSpec":
         """Return a spec with additional modifications enabled."""

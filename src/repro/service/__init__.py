@@ -12,22 +12,25 @@ solver into infrastructure that can serve that exploration at scale:
   rate, solve latency, iterations-to-convergence) with a Prometheus
   text exposition;
 * :mod:`repro.service.executor` -- a parallel sweep executor fanning
-  grid cells over a process pool with deterministic ordering, per-cell
+  grid cells over the chunked sweep queue (:mod:`repro.sweepq`) or the
+  legacy per-cell process pool, with deterministic ordering, per-cell
   retry for simulation cells and graceful serial fallback;
 * :mod:`repro.service.schema`   -- the typed request schemas
-  (:class:`SolveRequest`, :class:`GridRequest`) shared by the
-  versioned and legacy endpoints;
+  (:class:`SolveRequest`, :class:`GridRequest`, :class:`SweepRequest`)
+  shared by the versioned and legacy endpoints;
 * :mod:`repro.service.app`      -- the transport-agnostic service
-  facade (solve / grid / health / metrics);
+  facade (solve / grid / sweep / health / metrics);
 * :mod:`repro.service.http`     -- a stdlib-only HTTP JSON API
-  (``POST /v1/solve``, ``POST /v1/grid``, ``GET /v1/healthz``,
-  ``GET /v1/metrics``, plus the deprecated unversioned aliases) behind
-  the ``repro serve`` CLI subcommand.
+  (``POST /v1/solve``, ``POST /v1/grid``, ``POST /v1/sweep`` +
+  ``GET /v1/sweep/{job_id}``, ``GET /v1/healthz``, ``GET /v1/metrics``,
+  plus the deprecated unversioned aliases) behind the ``repro serve``
+  CLI subcommand.
 """
 
 from repro.service.app import ModelService, ServiceError
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.executor import (
+    DISPATCH_MODES,
     ENGINES,
     CellFailedError,
     CellTask,
@@ -38,19 +41,21 @@ from repro.service.executor import (
     evaluate_mva_batch,
     tasks_for_spec,
 )
-from repro.service.schema import GridRequest, SolveRequest
+from repro.service.schema import GridRequest, SolveRequest, SweepRequest
 from repro.service.http import ServiceHTTPServer, start_server
 from repro.service.keys import canonical_key, canonicalize, task_key
-from repro.service.metrics import Counter, Histogram, MetricsRegistry
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
     "CacheStats",
     "CellFailedError",
     "CellTask",
     "Counter",
+    "DISPATCH_MODES",
     "ENGINES",
     "ExecutorSummary",
     "FailedCell",
+    "Gauge",
     "GridRequest",
     "Histogram",
     "MetricsRegistry",
@@ -60,6 +65,7 @@ __all__ = [
     "ServiceHTTPServer",
     "SolveRequest",
     "SweepExecutor",
+    "SweepRequest",
     "SweepResult",
     "canonical_key",
     "canonicalize",

@@ -6,6 +6,8 @@ executor configuration, and exposes the four operations the HTTP layer
 
 * :meth:`solve`   -- one or more MVA solutions for a named protocol;
 * :meth:`grid`    -- a full (protocols x sharing x N) sweep;
+* :meth:`sweep`   -- submit an asynchronous sharded sweep (``/v1``);
+* :meth:`sweep_status` -- poll a submitted sweep's progress counters;
 * :meth:`verify`  -- the in-process verification suite (``/v1`` only);
 * :meth:`health`  -- liveness payload;
 * :meth:`metrics_text` -- the Prometheus exposition.
@@ -20,17 +22,25 @@ additionally rejects unknown top-level request fields.
 
 from __future__ import annotations
 
+import threading
 import time
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro import __version__
 from repro.service.cache import ResultCache
-from repro.service.executor import ENGINES, CellTask, SweepExecutor
+from repro.service.executor import (
+    ENGINES,
+    CellTask,
+    SweepExecutor,
+    tasks_for_spec,
+)
 from repro.service.metrics import MetricsRegistry
 from repro.service.schema import (
     GridRequest,
     ServiceError,
     SolveRequest,
+    SweepRequest,
     VerifyRequest,
     require,
 )
@@ -38,6 +48,19 @@ from repro.service.schema import (
 #: POST /grid sweeps are bounded so one request cannot monopolise the
 #: service (raise via ``max_grid_cells`` for trusted deployments).
 DEFAULT_MAX_GRID_CELLS = 4096
+
+
+@dataclass
+class _SweepJob:
+    """One submitted async sweep and its background runner state."""
+
+    job_id: str
+    workers: int
+    submitted_at: float
+    state: str = "running"  # "running" | "done" | "failed"
+    error: str | None = None
+    outcome: Any = None
+    thread: threading.Thread | None = field(default=None, repr=False)
 
 
 class ModelService:
@@ -52,7 +75,8 @@ class ModelService:
     def __init__(self, cache: ResultCache | None = None, jobs: int = 1,
                  metrics: MetricsRegistry | None = None,
                  max_grid_cells: int = DEFAULT_MAX_GRID_CELLS,
-                 engine: str = "scalar"):
+                 engine: str = "scalar",
+                 sweep_state_dir: str | None = None):
         if engine not in ENGINES:
             raise ValueError(
                 f"engine must be one of {ENGINES}, got {engine!r}")
@@ -61,7 +85,22 @@ class ModelService:
         self.jobs = jobs
         self.max_grid_cells = max_grid_cells
         self.engine = engine
+        self.sweep_state_dir = sweep_state_dir
         self.started_at = time.time()
+        self._sweep_queue: Any = None
+        self._sweep_jobs: dict[str, _SweepJob] = {}
+        self._sweep_lock = threading.Lock()
+
+    def _sweepq(self) -> Any:
+        """The service's one sweep queue, created on first use (lazy:
+        most deployments never touch the async endpoints)."""
+        with self._sweep_lock:
+            if self._sweep_queue is None:
+                from repro.sweepq import SweepQueue
+                self._sweep_queue = SweepQueue(
+                    state_dir=self.sweep_state_dir, cache=self.cache,
+                    metrics=self.metrics)
+            return self._sweep_queue
 
     def _executor(self, jobs: int | None = None,
                   engine: str | None = None) -> SweepExecutor:
@@ -128,6 +167,99 @@ class ModelService:
             "failures": [f.as_dict() for f in result.failures],
             "summary": self._summary_dict(result.summary),
         }
+
+    def sweep(self, payload: Any, strict: bool = False) -> dict[str, Any]:
+        """Submit an asynchronous sharded sweep; returns a job handle.
+
+        See :class:`repro.service.schema.SweepRequest` for the request
+        schema.  The sweep runs on a background thread through the
+        :class:`repro.sweepq.SweepQueue` (chunk leases, worker
+        processes, crash recovery); poll :meth:`sweep_status` for
+        progress.  Solved cells land in this service's shared result
+        cache, so a ``/v1/grid`` request for the same cells after
+        completion is answered entirely from cache.
+        """
+        request = SweepRequest.from_payload(payload, strict=strict)
+        require(request.cell_count <= self.max_grid_cells,
+                f"sweep of {request.cell_count} cells exceeds the "
+                f"per-request limit of {self.max_grid_cells}",
+                code="grid-too-large")
+        workers = request.workers if request.workers is not None \
+            else max(self.jobs, 1)
+        queue = self._sweepq()
+        tasks = tasks_for_spec(request.spec())
+        chunk_size = request.chunk_size
+        if chunk_size is None:
+            from repro.sweepq import auto_chunk_size
+            from repro.sweepq.chunks import DEFAULT_CHUNK_SIZE, MVA_CHUNK_CAP
+            cap = DEFAULT_CHUNK_SIZE if request.simulate else MVA_CHUNK_CAP
+            chunk_size = auto_chunk_size(len(tasks), workers, cap=cap)
+        job_id = queue.submit(tasks, chunk_size=chunk_size)
+        job = _SweepJob(job_id=job_id, workers=workers,
+                        submitted_at=time.time())
+        job.thread = threading.Thread(
+            target=self._run_sweep, args=(job,), daemon=True)
+        with self._sweep_lock:
+            self._sweep_jobs[job_id] = job
+        job.thread.start()
+        progress = queue.progress(job_id)
+        return {
+            "job_id": job_id,
+            "state": "running",
+            "workers": workers,
+            "cells": progress["total_cells"],
+            "chunks": progress["chunks"],
+            "chunk_size": progress["chunk_size"],
+            "status_path": f"/v1/sweep/{job_id}",
+        }
+
+    def _run_sweep(self, job: _SweepJob) -> None:
+        try:
+            job.outcome = self._sweepq().run(job.job_id,
+                                             workers=job.workers)
+            job.state = "done"
+        except Exception as exc:  # noqa: BLE001 - surfaced via status
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = "failed"
+
+    def sweep_status(self, job_id: str) -> dict[str, Any]:
+        """Progress counters for one submitted sweep job.
+
+        Counters come straight from the queue journal
+        (queued/leased/done/failed chunks, requeues, recovered), so a
+        poll during a crash-recovery window shows the takeover as it
+        happens.
+        """
+        from repro.sweepq import UnknownJobError
+        with self._sweep_lock:
+            job = self._sweep_jobs.get(job_id)
+        try:
+            progress = self._sweepq().progress(job_id)
+        except UnknownJobError:
+            raise ServiceError(404, f"unknown sweep job {job_id!r}",
+                               code="unknown-job") from None
+        status: dict[str, Any] = {
+            "job_id": job_id,
+            "state": job.state if job is not None else progress["state"],
+            "cells": progress["total_cells"],
+            "chunk_size": progress["chunk_size"],
+            "chunks": {key: progress[key] for key in
+                       ("chunks", "queued", "leased", "done", "failed")},
+            "cells_done": progress["cells_done"],
+            "cells_failed": progress["cells_failed"],
+            "requeues": progress["requeues"],
+            "recovered": progress["recovered"],
+        }
+        if job is not None:
+            status["workers"] = job.workers
+            status["elapsed_seconds"] = round(
+                time.time() - job.submitted_at, 3)
+            if job.error is not None:
+                status["error"] = job.error
+            if job.outcome is not None:
+                status["mode"] = job.outcome.mode
+                status["wall_seconds"] = round(job.outcome.wall_seconds, 6)
+        return status
 
     def verify(self, payload: Any, strict: bool = False) -> dict[str, Any]:
         """Run the verification suite; the HTTP face of ``repro verify``.

@@ -30,6 +30,11 @@ from the result cache, and fans the rest out over a
   fixed point for the whole grid) and falls back to the scalar path if
   the batch engine fails wholesale; cache keys are engine-independent,
   so both engines share entries.
+* **Chunked dispatch** -- jobs>1 sweeps default to the sharded sweep
+  queue (:mod:`repro.sweepq`): cells are grouped into chunks, each
+  chunk solved by one vectorized batch call inside a worker, results
+  transported over shared memory instead of per-cell pickles.
+  ``dispatch="cells"`` restores the per-cell process pool.
 
 Workers return plain dicts (the ``GridCell`` row plus solve metadata),
 which is also exactly what the cache persists, so a cache hit and a
@@ -41,6 +46,7 @@ the consumer side.
 
 from __future__ import annotations
 
+import os
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
@@ -73,6 +79,11 @@ _RETRY_SEED_STRIDE = 100_003
 #: The MVA evaluation backends an executor can run.
 ENGINES = ("scalar", "batch")
 
+#: How a parallel sweep is fanned out: ``auto`` routes jobs>1 through
+#: the chunked sweep queue (:mod:`repro.sweepq`), ``cells`` keeps the
+#: historical per-cell process pool, ``chunked`` forces the queue.
+DISPATCH_MODES = ("auto", "cells", "chunked")
+
 
 @dataclass(frozen=True)
 class CellTask:
@@ -96,8 +107,13 @@ class CellTask:
 
     @property
     def key(self) -> str:
-        """Content-addressed cache key of this evaluation."""
-        return task_key(self)
+        """Content-addressed cache key of this evaluation (memoized:
+        the executor, cache and sweep queue all ask repeatedly)."""
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = task_key(self)
+            object.__setattr__(self, "_key", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -431,7 +447,10 @@ class ExecutorSummary:
     retries: int
     wall_seconds: float
     jobs: int
-    mode: str  # "serial" | "process-pool" | "serial-fallback"
+    #: "serial", "chunked", "chunked-inprocess", "process-pool" or
+    #: "serial-fallback" (optionally prefixed "batch+" when the sweep's
+    #: MVA cells went through the in-process batch engine first).
+    mode: str
     failed: int = 0
     recovered: int = 0
 
@@ -501,12 +520,28 @@ class SweepExecutor:
         :mod:`repro.core.batch` engine).  Simulation cells always take
         the scalar path.  Cache keys do not include the engine, so both
         engines share cache entries.
+    dispatch:
+        How jobs>1 sweeps fan out: ``"auto"`` (default) and
+        ``"chunked"`` route through the :class:`repro.sweepq.SweepQueue`
+        -- cells are sharded into chunks, each solved by one vectorized
+        batch call in a worker, results returned over shared memory --
+        while ``"cells"`` keeps the historical per-cell process pool.
+        Rows are byte-identical either way (``tests/test_determinism``).
+    chunk_size:
+        Cells per chunk on the chunked path; ``None`` picks
+        :func:`repro.sweepq.auto_chunk_size` per sweep.
+    state_dir:
+        Optional persistent directory for the chunked path's journal
+        and cache-backed resume; ``None`` (default) uses an ephemeral
+        queue per sweep.
     """
 
     def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
                  metrics: MetricsRegistry | None = None,
                  sim_retries: int = 2, strict: bool = False,
-                 engine: str = "scalar"):
+                 engine: str = "scalar", dispatch: str = "auto",
+                 chunk_size: int | None = None,
+                 state_dir: str | None = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs!r}")
         if sim_retries < 0:
@@ -514,12 +549,18 @@ class SweepExecutor:
         if engine not in ENGINES:
             raise ValueError(
                 f"engine must be one of {ENGINES}, got {engine!r}")
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"dispatch must be one of {DISPATCH_MODES}, got {dispatch!r}")
         self.jobs = jobs
         self.cache = cache
         self.metrics = metrics
         self.sim_retries = sim_retries
         self.strict = strict
         self.engine = engine
+        self.dispatch = dispatch
+        self.chunk_size = chunk_size
+        self.state_dir = state_dir
 
     # -- public API ------------------------------------------------------
 
@@ -561,7 +602,10 @@ class SweepExecutor:
                 mode = "batch"
             if pending_rest:
                 if self.jobs > 1 and len(pending_rest) > 1:
-                    rest_mode = self._run_parallel(pending_rest, values)
+                    if self.dispatch in ("auto", "chunked"):
+                        rest_mode = self._run_chunked(pending_rest, values)
+                    else:
+                        rest_mode = self._run_parallel(pending_rest, values)
                 else:
                     for index, task in pending_rest:
                         values[index] = self._absorb(
@@ -628,6 +672,51 @@ class SweepExecutor:
         for (index, task), value in zip(pending, results):
             values[index] = self._absorb(task, index, value)
 
+    def _run_chunked(self, pending: list[tuple[int, CellTask]],
+                     values: dict[int, dict[str, Any]]) -> str:
+        """Fan out over the sharded sweep queue (:mod:`repro.sweepq`).
+
+        One ephemeral (or ``state_dir``-persistent) queue per sweep:
+        cells are sharded into chunks, each chunk solved by a single
+        vectorized batch-engine call inside a worker process, results
+        returned through shared memory.  The queue writes fresh solves
+        through the executor's cache itself, so ``_absorb`` here only
+        records metrics and the strict-mode check.  If the queue dies
+        wholesale, the historical per-cell pool finishes the sweep.
+
+        Worker processes are capped at the machine's core count:
+        surplus workers on a saturated machine only add fork, journal
+        and supervision overhead, while fewer, wider chunks keep the
+        vectorized batch solve at full width (the actual win)."""
+        tasks = [task for _, task in pending]
+        workers = max(1, min(self.jobs, os.cpu_count() or 1))
+        queue = None
+        try:
+            from repro.sweepq import SweepQueue, auto_chunk_size
+            from repro.sweepq.chunks import DEFAULT_CHUNK_SIZE, MVA_CHUNK_CAP
+
+            cap = (DEFAULT_CHUNK_SIZE
+                   if any(task.method != "mva" for task in tasks)
+                   else MVA_CHUNK_CAP)
+            queue = SweepQueue(
+                state_dir=self.state_dir, cache=self.cache,
+                metrics=self.metrics,
+                chunk_size=self.chunk_size or auto_chunk_size(
+                    len(tasks), workers, cap=cap),
+                sim_retries=self.sim_retries)
+            outcome = queue.run_tasks(tasks, workers=workers,
+                                      precheck_cache=False)
+        except CellFailedError:  # pragma: no cover - queue never raises it
+            raise
+        except Exception:  # noqa: BLE001 - queue fallback, not cell errors
+            return self._run_parallel(pending, values)
+        finally:
+            if queue is not None:
+                queue.close()
+        for (index, task), value in zip(pending, outcome.values):
+            values[index] = self._absorb(task, index, value, store=False)
+        return outcome.mode
+
     def _run_parallel(self, pending: list[tuple[int, CellTask]],
                       values: dict[int, dict[str, Any]]) -> str:
         """Fan out over a process pool; degrade to serial if the platform
@@ -659,15 +748,18 @@ class SweepExecutor:
             return "serial-fallback"
 
     def _absorb(self, task: CellTask, index: int,
-                value: dict[str, Any]) -> dict[str, Any]:
+                value: dict[str, Any],
+                store: bool = True) -> dict[str, Any]:
         """Record one fresh result: metrics, cache (with an incremental
-        flush), and the strict-mode failure check."""
+        flush), and the strict-mode failure check.  ``store=False``
+        skips the cache write (the chunked queue already persisted the
+        value itself)."""
         if value.get("error") is not None:
             self._record_failure(task)
             if self.strict:
                 raise CellFailedError(self._failure(index, task, value))
             return value
-        if self.cache is not None:
+        if store and self.cache is not None:
             self.cache.put(task.key, value)
             self.cache.flush()
         self._record_solve(task, value)

@@ -7,11 +7,13 @@ traffic without any third-party framework.
 
 Routes (the versioned API)::
 
-    GET  /v1/healthz   liveness JSON
-    GET  /v1/metrics   Prometheus text exposition
-    POST /v1/solve     one protocol, one or more sizes
-    POST /v1/grid      full sweep (protocols x sharing x N)
-    POST /v1/verify    run the verification suite (no legacy alias)
+    GET  /v1/healthz        liveness JSON
+    GET  /v1/metrics        Prometheus text exposition
+    POST /v1/solve          one protocol, one or more sizes
+    POST /v1/grid           full sweep (protocols x sharing x N)
+    POST /v1/sweep          submit an async sharded sweep (no legacy alias)
+    GET  /v1/sweep/{job_id} sweep progress counters
+    POST /v1/verify         run the verification suite (no legacy alias)
 
 ``/v1`` errors are a structured envelope::
 
@@ -49,9 +51,9 @@ API_VERSION = "v1"
 
 #: Endpoint -> allowed method; shared by routing and 405 ``Allow``.
 _GET_ROUTES = ("/healthz", "/metrics")
-_POST_ROUTES = ("/solve", "/grid", "/verify")
+_POST_ROUTES = ("/solve", "/grid", "/sweep", "/verify")
 #: Endpoints that exist only under ``/v1`` (no legacy alias to honour).
-_VERSIONED_ONLY = ("/verify",)
+_VERSIONED_ONLY = ("/sweep", "/verify")
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -94,6 +96,13 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                             content_type="text/plain; version=0.0.4; "
                                          "charset=utf-8",
                             deprecated=not versioned)
+        elif versioned and endpoint.startswith("/sweep/"):
+            job_id = endpoint[len("/sweep/"):]
+            try:
+                self._send_json(200, service.sweep_status(job_id))
+            except ServiceError as exc:
+                self._send_json(exc.status,
+                                self._error_body(exc, versioned))
         elif (endpoint in _POST_ROUTES
               and (versioned or endpoint not in _VERSIONED_ONLY)):
             self._send_error(405, f"{self.path} requires POST", versioned,
@@ -114,8 +123,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             handler = service.solve
         elif endpoint == "/grid":
             handler = service.grid
+        elif endpoint == "/sweep":
+            handler = service.sweep
         elif endpoint == "/verify":
             handler = service.verify
+        elif versioned and endpoint.startswith("/sweep/"):
+            self._send_error(405, f"{self.path} requires GET", versioned,
+                             headers={"Allow": "GET"})
+            return
         elif endpoint in _GET_ROUTES:
             self._send_error(405, f"{self.path} requires GET", versioned,
                              deprecated=not versioned,

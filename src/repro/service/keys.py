@@ -26,6 +26,7 @@ import dataclasses
 import enum
 import hashlib
 import json
+from functools import lru_cache
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -38,11 +39,27 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 SCHEMA_VERSION = 2
 
 
+@lru_cache(maxsize=4096)
+def _canonical_dataclass(obj: Any) -> dict[str, Any]:
+    """Canonical form of one hashable (frozen) dataclass instance.
+
+    A sweep reuses a handful of workload/protocol/solver instances
+    across thousands of cells, so caching these fragments turns key
+    derivation from the dominant cost of job submission into noise.
+    The returned dict is shared across callers: treat it as immutable.
+    """
+    return {f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)}
+
+
 def canonicalize(obj: Any) -> Any:
     """Reduce ``obj`` to JSON-representable canonical data."""
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {f.name: canonicalize(getattr(obj, f.name))
-                for f in dataclasses.fields(obj)}
+        try:
+            return _canonical_dataclass(obj)
+        except TypeError:  # unhashable (mutable) dataclass: no cache
+            return {f.name: canonicalize(getattr(obj, f.name))
+                    for f in dataclasses.fields(obj)}
     if isinstance(obj, enum.Enum):
         return canonicalize(obj.value)
     if isinstance(obj, (frozenset, set)):
@@ -63,13 +80,17 @@ def canonical_key(payload: Any) -> str:
     return hashlib.sha256(document.encode("utf-8")).hexdigest()
 
 
-def task_key(task: "CellTask") -> str:
-    """The cache key of one executor cell task.
+@lru_cache(maxsize=4096)
+def _fragment(obj: Any) -> str:
+    """Canonical JSON text of one hashable payload component."""
+    return json.dumps(canonicalize(obj), sort_keys=True,
+                      separators=(",", ":"))
 
-    Includes the schema version and, for simulation cells, the run
-    length and seed (two simulations of different length are different
-    results; MVA cells are seed-free).
-    """
+
+def task_key_payload(task: "CellTask") -> dict[str, Any]:
+    """The canonical payload hashed by :func:`task_key` (the reference
+    form; ``task_key`` assembles the same document from cached
+    fragments, pinned equal by ``tests/test_service_cache.py``)."""
     payload: dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "method": task.method,
@@ -83,4 +104,35 @@ def task_key(task: "CellTask") -> str:
     }
     if task.method == "sim":
         payload["sim"] = {"requests": task.sim_requests, "seed": task.sim_seed}
-    return canonical_key(payload)
+    return payload
+
+
+def task_key(task: "CellTask") -> str:
+    """The cache key of one executor cell task.
+
+    Includes the schema version and, for simulation cells, the run
+    length and seed (two simulations of different length are different
+    results; MVA cells are seed-free).
+
+    The canonical document is assembled from per-component cached
+    fragments (sweeps reuse a handful of workload/protocol/solver
+    instances across thousands of cells), byte-identical to hashing
+    :func:`task_key_payload` directly; keys are stable either way.
+    """
+    sim = (f',"sim":{{"requests":{json.dumps(task.sim_requests)},'
+           f'"seed":{json.dumps(task.sim_seed)}}}'
+           if task.method == "sim" else "")
+    protocol = (f'{{"label":{_fragment(task.protocol.label)},'
+                f'"mods":{_fragment(task.protocol.mod_numbers)}}}')
+    document = (
+        f'{{"arch":{_fragment(task.arch)},'
+        f'"method":{_fragment(task.method)},'
+        f'"n":{task.n},'
+        f'"protocol":{protocol},'
+        f'"schema":{SCHEMA_VERSION},'
+        f'"sharing":{_fragment(task.sharing_label)}'
+        f'{sim},'
+        f'"solver":{_fragment(task.solver)},'
+        f'"workload":{_fragment(task.workload)}}}'
+    )
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()

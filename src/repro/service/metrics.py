@@ -1,4 +1,4 @@
-"""A small metrics registry: counters and histograms, Prometheus text.
+"""A small metrics registry: counters, gauges, histograms, Prometheus text.
 
 No third-party client library -- the service only needs three things:
 monotonically increasing counters (cache hits/misses, requests served),
@@ -60,6 +60,29 @@ class Counter:
             raise ValueError("counters only go up")
         with self._lock:
             self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """One series that can go up, down, or be set outright."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
 
     @property
     def value(self) -> float:
@@ -172,6 +195,35 @@ class CounterFamily(_Family):
         return lines
 
 
+class GaugeFamily(_Family):
+    kind = "gauge"
+
+    def _make_child(self) -> Gauge:
+        return Gauge()
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default.dec(amount)
+
+    @property
+    def value(self) -> float:
+        """Sum over every labelled series."""
+        return sum(child.value for _, child in self._series())
+
+    def render(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} {self.kind}"]
+        for labels, child in self._series() or [((), Gauge())]:
+            lines.append(f"{self.name}{_format_labels(labels)} "
+                         f"{_format_value(child.value)}")
+        return lines
+
+
 class HistogramFamily(_Family):
     kind = "histogram"
 
@@ -220,6 +272,9 @@ class MetricsRegistry:
     def counter(self, name: str, help_text: str = "") -> CounterFamily:
         return self._family(CounterFamily, name, help_text)
 
+    def gauge(self, name: str, help_text: str = "") -> GaugeFamily:
+        return self._family(GaugeFamily, name, help_text)
+
     def histogram(self, name: str, help_text: str = "",
                   buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
                   ) -> HistogramFamily:
@@ -253,7 +308,7 @@ class MetricsRegistry:
             families = dict(self._families)
         out: dict[str, float | int] = {}
         for name, family in sorted(families.items()):
-            if isinstance(family, CounterFamily):
+            if isinstance(family, (CounterFamily, GaugeFamily)):
                 out[name] = family.value
             elif isinstance(family, HistogramFamily):
                 out[f"{name}_count"] = family.count

@@ -315,3 +315,75 @@ class GridRequest:
             sharing_levels=self.sharing_levels,
             include_simulation=self.simulate,
             sim_requests=self.requests, sim_seed=self.seed)
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """``POST /v1/sweep``: submit an asynchronous sharded sweep.
+
+    JSON schema::
+
+        {"protocols": ["write-once", "1,4"],  # required
+         "n": [2, 4, 8],                      # required
+         "sharing": ["1", "5"],               # optional, default all
+         "simulate": false,                   # optional
+         "requests": 40000,                   # optional (simulate)
+         "seed": 1234,                        # optional (simulate)
+         "workers": 4,                        # optional worker count
+         "chunk_size": 64}                    # optional cells/chunk
+
+    ``/v1``-only (always strict): the response is a job handle, not
+    rows -- poll ``GET /v1/sweep/{job_id}`` for progress and fetch the
+    rows with a ``/v1/grid`` request once done (every solved cell lands
+    in the shared result cache).  There is no ``engine`` field: sweep
+    workers always solve MVA chunks with the vectorized batch engine
+    (byte-identical to scalar).
+    """
+
+    protocols: tuple[ProtocolSpec, ...]
+    sizes: tuple[int, ...]
+    sharing_levels: tuple[SharingLevel, ...]
+    simulate: bool = False
+    requests: int = 40_000
+    seed: int = 1234
+    workers: int | None = None
+    chunk_size: int | None = None
+
+    FIELDS: ClassVar[frozenset[str]] = frozenset(
+        {"protocols", "n", "sharing", "simulate", "requests", "seed",
+         "workers", "chunk_size"})
+
+    @classmethod
+    def from_payload(cls, payload: Any,
+                     strict: bool = False) -> "SweepRequest":
+        require(isinstance(payload, dict),
+                "request body must be a JSON object")
+        if strict:
+            reject_unknown_fields(payload, cls.FIELDS)
+        base = GridRequest.from_payload(
+            {key: value for key, value in payload.items()
+             if key in GridRequest.FIELDS})
+        for field in ("workers", "chunk_size"):
+            value = payload.get(field)
+            if value is not None:
+                require(isinstance(value, int)
+                        and not isinstance(value, bool) and value >= 1,
+                        f"{field!r} must be a positive integer")
+        return cls(
+            protocols=base.protocols, sizes=base.sizes,
+            sharing_levels=base.sharing_levels, simulate=base.simulate,
+            requests=base.requests, seed=base.seed,
+            workers=payload.get("workers"),
+            chunk_size=payload.get("chunk_size"))
+
+    @property
+    def cell_count(self) -> int:
+        return (len(self.protocols) * len(self.sharing_levels)
+                * len(self.sizes) * (2 if self.simulate else 1))
+
+    def spec(self) -> GridSpec:
+        return GridSpec(
+            protocols=self.protocols, sizes=self.sizes,
+            sharing_levels=self.sharing_levels,
+            include_simulation=self.simulate,
+            sim_requests=self.requests, sim_seed=self.seed)

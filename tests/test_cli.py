@@ -201,6 +201,53 @@ class TestEngineFlag:
             build_parser().parse_args(self.BASE + ["--engine", "quantum"])
 
 
+class TestSweepSubcommand:
+    """`repro sweep` rides the sharded queue but must print the same
+    bytes as `repro grid` for the same spec."""
+
+    ARGS = ["--protocols", "wo", "1", "-n", "2", "4"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.n == [1, 2, 4, 8, 16, 32]
+        assert args.workers == 1
+        assert args.chunk_size is None
+        assert args.lease_ttl == 15.0
+        assert args.state_dir is None
+        assert args.resume is None
+        assert args.chaos_kill == 0
+
+    def test_output_matches_grid(self, capsys):
+        assert main(["grid"] + self.ARGS) == 0
+        grid_out = capsys.readouterr().out
+        assert main(["sweep"] + self.ARGS) == 0
+        captured = capsys.readouterr()
+        assert captured.out == grid_out
+        assert "sweep job" in captured.err
+        assert "12 cells" in captured.err
+
+    def test_state_dir_resume_serves_from_cache(self, tmp_path, capsys):
+        import re
+
+        state = str(tmp_path / "state")
+        assert main(["sweep"] + self.ARGS + ["--state-dir", state]) == 0
+        first = capsys.readouterr()
+        job_id = re.search(r"sweep job (\w+):", first.err).group(1)
+        assert main(["sweep", "--state-dir", state,
+                     "--resume", job_id]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "12 from cache" in second.err
+
+    def test_resume_unknown_job_exits_2(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(["sweep"] + self.ARGS + ["--state-dir", state]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--state-dir", state,
+                     "--resume", "nope"]) == 2
+        assert "unknown sweep job" in capsys.readouterr().err
+
+
 class TestServeSubcommand:
     def test_serve_answers_solve_and_healthz(self, tmp_path):
         """`repro serve` on an ephemeral port answers POST /solve with

@@ -11,6 +11,9 @@ own:
 * the sweep executor returns rows in task order regardless of worker
   count (``jobs=1`` vs ``jobs=4``) and of MVA engine, so diffs of two
   sweeps line up row for row;
+* the sharded sweep queue produces rows byte-identical to the serial
+  scalar executor regardless of worker count, chunk size, or
+  crash/resume history;
 * different seeds actually change the sample (guarding against a seed
   that is silently ignored).
 """
@@ -101,3 +104,63 @@ class TestExecutorDeterminism:
         """The cross term: both knobs turned at once."""
         assert _rows(self.SPEC, jobs=1, engine="scalar") == \
             _rows(self.SPEC, jobs=4, engine="batch")
+
+
+class TestSweepQueueDeterminism:
+    """The sweepq contract: serial-scalar bytes no matter how the work
+    was sharded, leased, cached, crashed, or resumed."""
+
+    SPEC = TestExecutorDeterminism.SPEC
+
+    def _queue_rows(self, tmp_path, name, workers, chunk_size,
+                    chaos_kill=0, interrupt_after=0):
+        from repro.analysis.grid import GridCell
+        from repro.service.cache import ResultCache
+        from repro.sweepq import SweepQueue
+
+        tasks = tasks_for_spec(self.SPEC)
+        queue = SweepQueue(
+            state_dir=tmp_path / name,
+            cache=ResultCache(path=str(tmp_path / f"{name}.json")),
+            chunk_size=chunk_size, lease_ttl=1.0)
+        job_id = queue.submit(tasks)
+        if interrupt_after:
+            # Simulate a killed driver: drain a few chunks, then start
+            # over from the journal as a restarted process would.
+            queue.process_chunks(job_id, limit=interrupt_after)
+        outcome = queue.run(job_id, workers=workers,
+                            chaos_kill=chaos_kill)
+        rows = []
+        for task, value in zip(tasks, outcome.values):
+            assert value.get("error") is None
+            rows.append(GridCell(**value["cell"]).as_row())
+        return rows, outcome
+
+    def test_workers_1_and_4_any_chunking_with_crash_resume(
+            self, tmp_path):
+        """workers in {1, 4}, two chunk sizes, one SIGKILLed worker and
+        one interrupted-then-resumed run: every variant must reproduce
+        the serial scalar executor's rows byte for byte."""
+        serial = _rows(self.SPEC, jobs=1, engine="scalar")
+
+        rows, _ = self._queue_rows(tmp_path, "w1", workers=1,
+                                   chunk_size=3)
+        assert rows == serial
+
+        rows, _ = self._queue_rows(tmp_path, "w4", workers=4,
+                                   chunk_size=2)
+        assert rows == serial
+
+        # Forced crash: one worker is SIGKILLed after its first claim;
+        # the chunk is requeued on lease expiry and re-solved.
+        rows, outcome = self._queue_rows(tmp_path, "crash", workers=4,
+                                         chunk_size=2, chaos_kill=1)
+        assert outcome.counters["requeues"] >= 1
+        assert rows == serial
+
+        # Interrupted driver: two chunks done before the "restart".
+        rows, outcome = self._queue_rows(tmp_path, "resume", workers=1,
+                                         chunk_size=3,
+                                         interrupt_after=2)
+        assert sum(outcome.cached) == 6
+        assert rows == serial

@@ -7,7 +7,12 @@ import pytest
 from repro.protocols.modifications import ProtocolSpec
 from repro.service.cache import ResultCache
 from repro.service.executor import CellTask
-from repro.service.keys import canonical_key, canonicalize, task_key
+from repro.service.keys import (
+    canonical_key,
+    canonicalize,
+    task_key,
+    task_key_payload,
+)
 from repro.workload.parameters import (
     ArchitectureParams,
     SharingLevel,
@@ -82,6 +87,21 @@ class TestKeyStability:
     def test_mva_key_ignores_sim_settings(self):
         """MVA cells are seed-free: sim knobs must not fragment the key."""
         assert (task_key(_task(sim_seed=1)) == task_key(_task(sim_seed=99)))
+
+    def test_fast_path_matches_reference_payload(self):
+        """The fragment-assembled ``task_key`` must hash byte-identically
+        to ``canonical_key`` over the reference payload; a drift here
+        silently invalidates every existing cache file."""
+        tasks = [
+            _task(),
+            _task(n=16, protocol=ProtocolSpec.of(1)),
+            _task(method="sim", sim_seed=7, sim_requests=500),
+            _task(arch=ArchitectureParams(block_size=8),
+                  workload=appendix_a_workload(SharingLevel.ONE_PERCENT),
+                  sharing_label="1%"),
+        ]
+        for task in tasks:
+            assert task_key(task) == canonical_key(task_key_payload(task))
 
 
 class TestLRU:

@@ -64,6 +64,13 @@ class TestDeterminism:
         rows = [c.as_row() for c in run_grid(spec)]
         result = SweepExecutor(jobs=2).run_spec(spec)
         assert [c.as_row() for c in result.cells] == rows
+        assert result.summary.mode in ("chunked", "chunked-inprocess",
+                                       "serial-fallback")
+
+    def test_cells_dispatch_matches_serial(self, spec):
+        rows = [c.as_row() for c in run_grid(spec)]
+        result = SweepExecutor(jobs=2, dispatch="cells").run_spec(spec)
+        assert [c.as_row() for c in result.cells] == rows
         assert result.summary.mode in ("process-pool", "serial-fallback")
 
     def test_run_grid_accepts_an_executor(self, spec):
@@ -327,8 +334,22 @@ class TestSerialFallback:
         monkeypatch.setattr(executor_module, "ProcessPoolExecutor",
                             broken_pool)
         rows = [c.as_row() for c in run_grid(spec)]
-        result = SweepExecutor(jobs=4).run_spec(spec)
+        result = SweepExecutor(jobs=4, dispatch="cells").run_spec(spec)
         assert result.summary.mode == "serial-fallback"
+        assert [c.as_row() for c in result.cells] == rows
+
+    def test_broken_queue_degrades_to_process_pool(self, spec,
+                                                   monkeypatch):
+        """The chunked path must never take the executor down with it:
+        a queue that blows up falls back to per-cell dispatch."""
+        import repro.sweepq as sweepq_module
+
+        def broken_queue(*args, **kwargs):
+            raise RuntimeError("journal on fire")
+        monkeypatch.setattr(sweepq_module, "SweepQueue", broken_queue)
+        rows = [c.as_row() for c in run_grid(spec)]
+        result = SweepExecutor(jobs=2).run_spec(spec)
+        assert result.summary.mode in ("process-pool", "serial-fallback")
         assert [c.as_row() for c in result.cells] == rows
 
     def test_jobs_validation(self):
@@ -336,3 +357,5 @@ class TestSerialFallback:
             SweepExecutor(jobs=0)
         with pytest.raises(ValueError):
             SweepExecutor(sim_retries=-1)
+        with pytest.raises(ValueError):
+            SweepExecutor(dispatch="osmosis")
