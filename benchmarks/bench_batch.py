@@ -23,8 +23,11 @@ Quick mode (``REPRO_BENCH_QUICK=1``, used by the CI smoke job) shrinks
 the stress grid and relaxes the speedup floor -- tiny grids cannot
 amortize the batch engine's fixed costs, and CI runners are noisy.
 
-Numbers land in ``output/batch.txt`` (human-readable) and
-``output/batch.json`` (machine-readable, uploaded as a CI artifact).
+Numbers land in ``output/batch.txt`` (human-readable),
+``output/batch.json`` (machine-readable, uploaded as a CI artifact)
+and ``benchmarks/BENCH_batch.json`` (the committed machine-readable
+baseline, ``BENCH_sweepq.json``-style; the CI quick run parks its copy
+as an artifact and restores the committed one).
 """
 
 import json
@@ -69,8 +72,7 @@ def _best(fn, reps=_REPS):
     return min(times)
 
 
-def _write_json(output_dir: Path, record: dict) -> None:
-    path = output_dir / "batch.json"
+def _merge_json(path: Path, record: dict) -> None:
     existing = {}
     if path.exists():
         try:
@@ -79,6 +81,13 @@ def _write_json(output_dir: Path, record: dict) -> None:
             existing = {}
     existing.update(record)
     path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+def _write_json(output_dir: Path, record: dict) -> None:
+    _merge_json(output_dir / "batch.json", record)
+    _merge_json(Path(__file__).resolve().parent / "BENCH_batch.json",
+                dict(record, schema=1, quick=QUICK,
+                     cores=os.cpu_count() or 1))
 
 
 def test_table41_grid_parity_and_speedup(benchmark, emit, output_dir):

@@ -12,8 +12,14 @@ measures the two service-layer multipliers on top of it:
    per-cell process pool recorded 0.96x -- pure pickling overhead);
 3. a repeated sweep with the content-addressed cache enabled re-solves
    zero cells (100 % hit rate).
+
+Numbers land in ``output/service.txt`` (human-readable) and
+``benchmarks/BENCH_service.json`` (the committed machine-readable
+baseline, ``BENCH_sweepq.json``-style; the CI quick run parks its copy
+as an artifact and restores the committed one).
 """
 
+import json
 import os
 import sys
 import time
@@ -33,6 +39,20 @@ from repro.workload.parameters import SharingLevel
 #: whole file runs in seconds; wall-clock comparisons that need real
 #: work to be meaningful are skipped.
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _write_json(record: dict) -> None:
+    """Merge one section into the committed ``BENCH_service.json``."""
+    path = Path(__file__).resolve().parent / "BENCH_service.json"
+    existing = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError:
+            existing = {}
+    existing.update(record, schema=1, quick=QUICK,
+                    cores=os.cpu_count() or 1)
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
 
 #: Simulation cells are what makes parallelism worth having: each cell
 #: costs ~a second, so four workers on eight cells should roughly halve
@@ -69,6 +89,9 @@ def test_parallel_sweep_beats_serial(benchmark, emit):
          f"  serial   : {serial_s:7.2f} s\n"
          f"  jobs=4   : {parallel_s:7.2f} s ({mode}, "
          f"{serial_s / parallel_s:.2f}x)\n")
+    _write_json({"parallel_sweep": {
+        "serial_s": serial_s, "parallel_s": parallel_s, "mode": mode,
+        "speedup": serial_s / parallel_s, "rows_identical": rows_equal}})
     assert rows_equal, "parallel sweep must be bit-identical to serial"
     # Wall-clock can only drop when the machine has cores to fan out
     # to -- and enough per-cell work to hide start-up overhead, which
@@ -115,6 +138,10 @@ def test_chunked_stress_sweep_beats_serial(benchmark, emit):
          f"  serial         : {serial_s:7.3f} s\n"
          f"  chunked jobs=4 : {chunked_s:7.3f} s ({mode}, "
          f"{speedup:.2f}x)\n")
+    _write_json({"chunked_stress": {
+        "cells": len(tasks), "serial_s": serial_s, "chunked_s": chunked_s,
+        "mode": mode, "speedup": speedup, "rows_identical": rows_equal,
+        "speedup_floor": None if QUICK else 2.0}})
     assert rows_equal, "chunked sweep must be bit-identical to serial"
     if not QUICK:
         assert speedup >= 2.0, (
@@ -154,6 +181,9 @@ def test_cached_rerun_solves_nothing(benchmark, emit):
          f"  rerun wall      : {rerun_s * 1e3:.1f} ms\n"
          f"  metrics         : hits={snapshot['repro_cache_hits_total']:g} "
          f"misses={snapshot['repro_cache_misses_total']:g}\n")
+    _write_json({"cached_rerun": {
+        "cells": rerun.summary.total, "resolved": rerun.summary.solved,
+        "hit_rate": rerun.summary.cache_hit_rate, "rerun_s": rerun_s}})
     assert rerun.summary.solved == 0
     assert rerun.summary.cache_hit_rate == 1.0
     assert snapshot["repro_cache_hits_total"] == rerun.summary.total
@@ -185,5 +215,8 @@ def test_mva_grid_latency_through_service(benchmark, emit):
          f"  cold solve : {cold_s * 1e3:7.1f} ms\n"
          f"  cached     : {warm_s * 1e3:7.1f} ms "
          f"({cold_s / warm_s:.0f}x faster)\n")
+    _write_json({"grid_latency": {
+        "cells": cold.summary.total, "cold_s": cold_s, "warm_s": warm_s,
+        "speedup": cold_s / warm_s}})
     assert warm.summary.cache_hit_rate == 1.0
     assert warm_s < cold_s

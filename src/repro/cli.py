@@ -382,28 +382,60 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import ModelService, ResultCache, start_server
+    from repro.service import (
+        ModelService,
+        ResultCache,
+        serve_async,
+        start_server,
+    )
 
+    coalesce = not args.no_coalesce
+    front = "async" if getattr(args, "async") else "threaded"
     try:
         cache = ResultCache(path=args.cache) if args.cache else ResultCache()
-        server = start_server(
-            ModelService(cache=cache, jobs=args.jobs, engine=args.engine,
-                         sweep_state_dir=args.sweep_state_dir),
-            host=args.host, port=args.port)
+        common = dict(cache=cache, jobs=args.jobs, engine=args.engine,
+                      sweep_state_dir=args.sweep_state_dir)
+        if coalesce:
+            service = ModelService.with_coalescer(
+                window_ms=args.coalesce_window_ms,
+                max_batch=args.max_batch, **common)
+        else:
+            service = ModelService(**common)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    settings = (f"jobs={args.jobs}, engine={args.engine}, front={front}, "
+                + (f"coalesce={args.coalesce_window_ms}ms/"
+                   f"{args.max_batch} cells, " if coalesce
+                   else "coalesce=off, ")
+                + f"cache={args.cache or 'in-memory'}")
+
+    def announce(url: str) -> None:
+        print(f"repro service listening on {url} "
+              f"({settings}; Ctrl-C to stop)")
+
+    try:
+        if getattr(args, "async"):
+            try:
+                serve_async(service, host=args.host, port=args.port,
+                            announce=announce)
+            except KeyboardInterrupt:
+                print("\nshutting down")
+        else:
+            server = start_server(service, host=args.host, port=args.port)
+            announce(server.url)
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                print("\nshutting down")
+            finally:
+                server.server_close()
     except OSError as exc:  # port in use, unresolvable host, ...
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(f"repro service listening on {server.url} "
-          f"(jobs={args.jobs}, engine={args.engine}, cache="
-          f"{args.cache or 'in-memory'}; Ctrl-C to stop)")
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("\nshutting down")
     finally:
-        server.server_close()
         try:
-            cache.flush()
+            service.close()
         except OSError as exc:
             print(f"error: could not persist cache: {exc}", file=sys.stderr)
             return 2
@@ -609,6 +641,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--sweep-state-dir",
                          help="persistent directory for async /v1/sweep "
                               "jobs (journal survives restarts)")
+    p_serve.add_argument("--async", action="store_true",
+                         help="asyncio front-end: thousands of concurrent "
+                              "connections without one thread each "
+                              "(default: threaded http.server)")
+    p_serve.add_argument("--coalesce-window-ms", type=float, default=2.0,
+                         help="how long concurrent /v1/solve cells are "
+                              "held before one vectorized batch solve "
+                              "(default: 2 ms)")
+    p_serve.add_argument("--max-batch", type=_positive_int, default=256,
+                         help="queue depth that flushes a coalesced "
+                              "batch early (default: 256 cells)")
+    p_serve.add_argument("--no-coalesce", action="store_true",
+                         help="disable /v1/solve micro-batching (each "
+                              "request solves its own cells)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_report = sub.add_parser("report", help="compact live reproduction "

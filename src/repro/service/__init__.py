@@ -18,17 +18,27 @@ solver into infrastructure that can serve that exploration at scale:
 * :mod:`repro.service.schema`   -- the typed request schemas
   (:class:`SolveRequest`, :class:`GridRequest`, :class:`SweepRequest`)
   shared by the versioned and legacy endpoints;
+* :mod:`repro.service.coalesce` -- the micro-batching request
+  coalescer: concurrent ``/v1/solve`` cells are held for a ~2 ms window
+  and solved by one vectorized batch call, with in-flight dedup and
+  per-cell error fan-out;
 * :mod:`repro.service.app`      -- the transport-agnostic service
-  facade (solve / grid / sweep / health / metrics);
-* :mod:`repro.service.http`     -- a stdlib-only HTTP JSON API
-  (``POST /v1/solve``, ``POST /v1/grid``, ``POST /v1/sweep`` +
-  ``GET /v1/sweep/{job_id}``, ``GET /v1/healthz``, ``GET /v1/metrics``,
-  plus the deprecated unversioned aliases) behind the ``repro serve``
-  CLI subcommand.
+  facade (solve / grid / sweep / jobs / capabilities / verify /
+  health / metrics);
+* :mod:`repro.service.router`   -- the shared route table and ``/v1``
+  error envelope both HTTP transports dispatch through (including the
+  410 ``gone`` answers on the retired legacy unversioned paths);
+* :mod:`repro.service.http`     -- the threaded stdlib HTTP front-end
+  behind ``repro serve``;
+* :mod:`repro.service.aio`      -- the asyncio front-end behind
+  ``repro serve --async``: thousands of concurrent connections without
+  one thread each, awaiting the shared coalescer natively on the event
+  loop.
 """
 
 from repro.service.app import ModelService, ServiceError
 from repro.service.cache import CacheStats, ResultCache
+from repro.service.coalesce import SolveCoalescer
 from repro.service.executor import (
     DISPATCH_MODES,
     ENGINES,
@@ -38,15 +48,24 @@ from repro.service.executor import (
     FailedCell,
     SweepExecutor,
     SweepResult,
+    collect_sweep_result,
     evaluate_mva_batch,
     tasks_for_spec,
 )
 from repro.service.schema import GridRequest, SolveRequest, SweepRequest
+from repro.service.aio import (
+    AsyncServerHandle,
+    AsyncServiceServer,
+    serve_async,
+    start_async_server,
+)
 from repro.service.http import ServiceHTTPServer, start_server
 from repro.service.keys import canonical_key, canonicalize, task_key
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
+    "AsyncServerHandle",
+    "AsyncServiceServer",
     "CacheStats",
     "CellFailedError",
     "CellTask",
@@ -63,13 +82,17 @@ __all__ = [
     "ResultCache",
     "ServiceError",
     "ServiceHTTPServer",
+    "SolveCoalescer",
     "SolveRequest",
     "SweepExecutor",
     "SweepRequest",
     "SweepResult",
     "canonical_key",
     "canonicalize",
+    "collect_sweep_result",
     "evaluate_mva_batch",
+    "serve_async",
+    "start_async_server",
     "start_server",
     "task_key",
     "tasks_for_spec",

@@ -29,12 +29,16 @@ from typing import Any
 
 from repro import __version__
 from repro.service.cache import ResultCache
+from repro.service.coalesce import SolveCoalescer
 from repro.service.executor import (
+    DISPATCH_MODES,
     ENGINES,
     CellTask,
     SweepExecutor,
+    collect_sweep_result,
     tasks_for_spec,
 )
+from repro.service.keys import prime_task_keys
 from repro.service.metrics import MetricsRegistry
 from repro.service.schema import (
     GridRequest,
@@ -76,7 +80,8 @@ class ModelService:
                  metrics: MetricsRegistry | None = None,
                  max_grid_cells: int = DEFAULT_MAX_GRID_CELLS,
                  engine: str = "scalar",
-                 sweep_state_dir: str | None = None):
+                 sweep_state_dir: str | None = None,
+                 coalescer: SolveCoalescer | None = None):
         if engine not in ENGINES:
             raise ValueError(
                 f"engine must be one of {ENGINES}, got {engine!r}")
@@ -86,10 +91,36 @@ class ModelService:
         self.max_grid_cells = max_grid_cells
         self.engine = engine
         self.sweep_state_dir = sweep_state_dir
+        self.coalescer = coalescer
         self.started_at = time.time()
         self._sweep_queue: Any = None
         self._sweep_jobs: dict[str, _SweepJob] = {}
         self._sweep_lock = threading.Lock()
+
+    @classmethod
+    def with_coalescer(cls, cache: ResultCache | None = None,
+                       window_ms: float | None = None,
+                       max_batch: int | None = None,
+                       **kwargs: Any) -> "ModelService":
+        """A service whose ``/v1/solve`` cells go through a
+        :class:`SolveCoalescer` sharing its cache and metrics."""
+        cache = cache if cache is not None else ResultCache()
+        metrics = kwargs.pop("metrics", None) or MetricsRegistry()
+        coalesce_args: dict[str, Any] = {}
+        if window_ms is not None:
+            coalesce_args["window_ms"] = window_ms
+        if max_batch is not None:
+            coalesce_args["max_batch"] = max_batch
+        coalescer = SolveCoalescer(cache=cache, metrics=metrics,
+                                   **coalesce_args)
+        return cls(cache=cache, metrics=metrics, coalescer=coalescer,
+                   **kwargs)
+
+    def close(self) -> None:
+        """Stop the coalescer's flusher thread (if any) and flush."""
+        if self.coalescer is not None:
+            self.coalescer.close()
+        self.cache.flush()
 
     def _sweepq(self) -> Any:
         """The service's one sweep queue, created on first use (lazy:
@@ -130,14 +161,40 @@ class ModelService:
         """Evaluate the MVA for one protocol at one or more sizes.
 
         See :class:`repro.service.schema.SolveRequest` for the request
-        schema.
+        schema.  With a :class:`SolveCoalescer` attached the cells join
+        the shared micro-batching queue (blocking this thread until the
+        batch resolves); the response is identical either way.
         """
+        request, tasks = self.solve_prepare(payload, strict=strict)
+        if self.coalescer is None:
+            result = self._executor(jobs=1, engine=request.engine).run(tasks)
+            return self.solve_response(request, result)
+        started = time.perf_counter()
+        future, cached_flags = self.coalescer.submit_request(tasks)
+        result = collect_sweep_result(
+            tasks, dict(enumerate(future.result())), cached_flags,
+            wall_seconds=time.perf_counter() - started,
+            jobs=1, mode="coalesced")
+        return self.solve_response(request, result)
+
+    def solve_prepare(self, payload: Any, strict: bool = False
+                      ) -> tuple[SolveRequest, list[CellTask]]:
+        """Parse a solve request into its cell tasks (shared by the
+        blocking path above and the asyncio front-end, which awaits the
+        coalescer futures instead of blocking a thread on them)."""
         request = SolveRequest.from_payload(payload, strict=strict)
         tasks = [CellTask(protocol=request.protocol,
                           sharing_label=request.sharing.label,
                           workload=request.workload, n=n, arch=request.arch)
                  for n in request.sizes]
-        result = self._executor(jobs=1, engine=request.engine).run(tasks)
+        # One request's cells differ only in n: derive every cache key
+        # from one shared-component lookup instead of one per cell.
+        prime_task_keys(tasks)
+        return request, tasks
+
+    def solve_response(self, request: SolveRequest,
+                       result: Any) -> dict[str, Any]:
+        """Render one solve outcome (raises on total failure)."""
         self._reject_total_failure(result)
         return {
             "protocol": request.protocol.label,
@@ -260,6 +317,66 @@ class ModelService:
                 status["mode"] = job.outcome.mode
                 status["wall_seconds"] = round(job.outcome.wall_seconds, 6)
         return status
+
+    def capabilities(self) -> dict[str, Any]:
+        """``GET /v1/capabilities``: what this deployment can do, so
+        clients negotiate instead of sniffing error messages."""
+        from repro.service.router import (
+            API_VERSION,
+            GET_ROUTES,
+            MAX_BODY_BYTES,
+            POST_ROUTES,
+        )
+        coalesce: dict[str, Any] = {"enabled": self.coalescer is not None}
+        if self.coalescer is not None:
+            coalesce["window_ms"] = self.coalescer.window_ms
+            coalesce["max_batch"] = self.coalescer.max_batch
+        return {
+            "api_version": API_VERSION,
+            "version": __version__,
+            "engines": list(ENGINES),
+            "default_engine": self.engine,
+            "dispatch_modes": list(DISPATCH_MODES),
+            "coalesce": coalesce,
+            "limits": {
+                "max_grid_cells": self.max_grid_cells,
+                "max_body_bytes": MAX_BODY_BYTES,
+            },
+            "endpoints": {
+                "get": [f"/{API_VERSION}{route}" for route in GET_ROUTES]
+                       + [f"/{API_VERSION}/sweep/{{job_id}}"],
+                "post": [f"/{API_VERSION}{route}" for route in POST_ROUTES],
+            },
+        }
+
+    def list_jobs(self) -> dict[str, Any]:
+        """``GET /v1/jobs``: every async job this service has accepted
+        (currently sweep submissions), oldest first, with progress."""
+        from repro.sweepq import UnknownJobError
+        with self._sweep_lock:
+            entries = list(self._sweep_jobs.values())
+        rows: list[dict[str, Any]] = []
+        for job in sorted(entries, key=lambda item: item.submitted_at):
+            row: dict[str, Any] = {
+                "job_id": job.job_id,
+                "kind": "sweep",
+                "state": job.state,
+                "workers": job.workers,
+                "elapsed_seconds": round(time.time() - job.submitted_at, 3),
+                "status_path": f"/v1/sweep/{job.job_id}",
+            }
+            if job.error is not None:
+                row["error"] = job.error
+            try:
+                progress = self._sweepq().progress(job.job_id)
+            except UnknownJobError:  # pragma: no cover - journal pruned
+                progress = None
+            if progress is not None:
+                row["cells"] = progress["total_cells"]
+                row["cells_done"] = progress["cells_done"]
+                row["cells_failed"] = progress["cells_failed"]
+            rows.append(row)
+        return {"jobs": rows, "count": len(rows)}
 
     def verify(self, payload: Any, strict: bool = False) -> dict[str, Any]:
         """Run the verification suite; the HTTP face of ``repro verify``.

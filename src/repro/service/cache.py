@@ -19,6 +19,7 @@ import os
 import tempfile
 import threading
 from collections import OrderedDict
+from collections.abc import Iterable
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -100,6 +101,25 @@ class ResultCache:
                 self._entries.move_to_end(key)
             self._entries[key] = value
             self.stats.stores += 1
+            self._dirty = True
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def put_many(self, items: Iterable[tuple[str, dict[str, Any]]]) -> None:
+        """Store every ``(key, value)`` pair under one lock acquisition.
+
+        Semantically ``put`` in a loop (same LRU refresh, store counts
+        and eviction policy); batch writers -- the coalescer lands
+        hundreds of cells per flush -- use this to keep lock traffic
+        off their per-cell path.
+        """
+        with self._lock:
+            for key, value in items:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                self._entries[key] = value
+                self.stats.stores += 1
             self._dirty = True
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)

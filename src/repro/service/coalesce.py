@@ -1,0 +1,388 @@
+"""Micro-batching request coalescer for ``POST /v1/solve``.
+
+The batch MVA engine solves a whole grid of cells in one vectorized
+fixed point at a fraction of the per-cell scalar cost -- but an HTTP
+front-end that answers one request at a time never hands it more than a
+request's own cells.  :class:`SolveCoalescer` closes that gap: cells
+submitted by concurrent requests are parked in a queue for a short
+window (``window_ms``, default 2 ms) and then solved together by one
+:func:`repro.service.executor.evaluate_mva_batch` call, with per-cell
+results (and per-cell *errors* -- a poison cell only fails its own
+waiter) fanned back through one future per submission.
+
+Guarantees:
+
+* **Determinism** -- a coalesced cell's value is exactly what a solo
+  solve produces: the batch engine is byte-identical to the scalar path
+  (``repro.verify``'s differential oracle), failure payloads are the
+  same shape, and the cache value written is the same dict either way.
+* **Flush triggers** -- a batch flushes when the *oldest* queued cell
+  has waited ``window_ms`` ("window"), when ``max_batch`` cells are
+  queued ("max-batch"), or at shutdown ("close"); the reason is
+  recorded in ``repro_coalesce_flushes_total{reason=...}``.
+* **In-flight dedup** -- a cell whose key is already queued attaches a
+  second future to the pending entry instead of a second solve
+  (``repro_coalesce_deduped_total``); the content-addressed
+  :class:`~repro.service.cache.ResultCache` answers repeats of already
+  *solved* cells without queueing at all.
+* **Cancellation safety** -- every *request* gets its own
+  :class:`concurrent.futures.Future` (one fan-in future for all of its
+  cells); a waiter that goes away (client disconnect) cancels only its
+  own future, the batch still solves, and sibling waiters -- including
+  a deduped twin of the same cell -- are untouched.
+
+The futures are plain ``concurrent.futures`` ones so both front-ends
+share this one coalescer: the threaded server blocks on ``.result()``,
+the asyncio server awaits ``asyncio.wrap_future(...)`` -- one loop
+callback per request when its batch lands, not one per cell.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Sequence
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.service.cache import ResultCache
+from repro.service.executor import (
+    CellTask,
+    evaluate_mva_batch,
+    evaluate_with_retry,
+    record_failure_metric,
+    record_solve_metrics,
+    record_solve_metrics_batch,
+)
+from repro.service.metrics import DEFAULT_BATCH_BUCKETS, MetricsRegistry
+
+#: Default hold window before a lone batch flushes (milliseconds).
+DEFAULT_WINDOW_MS = 2.0
+
+#: Default cell count that flushes a batch early.
+DEFAULT_MAX_BATCH = 256
+
+#: The flush triggers (label values of ``repro_coalesce_flushes_total``).
+FLUSH_REASONS = ("window", "max-batch", "close")
+
+
+class _Waiter:
+    """One request's fan-in point: a single future resolved when every
+    one of its cells has a value.
+
+    A request of k cells costs one future -- not k -- so the asyncio
+    front-end schedules one loop callback per *request* when the batch
+    lands, which is where the coalesced path's throughput headroom
+    lives at high concurrency.
+    """
+
+    __slots__ = ("future", "values", "missing", "unwrap")
+
+    def __init__(self, size: int, unwrap: bool = False):
+        self.future: Future = Future()
+        self.values: list[dict[str, Any] | None] = [None] * size
+        self.missing = size
+        self.unwrap = unwrap
+
+    def deliver(self, slot: int, value: dict[str, Any]) -> None:
+        self.values[slot] = value
+        self.missing -= 1
+        if self.missing == 0 and self.future.set_running_or_notify_cancel():
+            self.future.set_result(
+                self.values[0] if self.unwrap else self.values)
+
+
+@dataclass
+class _Pending:
+    """One queued cell and every (waiter, slot) pair awaiting it."""
+
+    task: CellTask
+    enqueued_at: float
+    waiters: list[tuple[_Waiter, int]] = field(default_factory=list)
+
+
+class SolveCoalescer:
+    """Stack concurrent solve cells into one vectorized batch call.
+
+    Parameters
+    ----------
+    cache:
+        Optional shared :class:`ResultCache`.  Checked at submit time
+        (a hit resolves immediately without queueing) and written after
+        every batch (one flush per batch, not per cell).
+    metrics:
+        Optional :class:`MetricsRegistry` fed with the
+        ``repro_coalesce_*`` families plus the shared per-cell solve /
+        failure / cache metrics, so a coalesced cell is indistinguishable
+        from an executor cell on a dashboard.
+    window_ms:
+        How long the oldest queued cell may wait before the batch
+        flushes.  The latency floor a lone request pays for the
+        throughput ceiling concurrent requests gain.
+    max_batch:
+        Queue depth that flushes immediately without waiting out the
+        window.
+    sim_retries:
+        Retry budget for non-MVA cells (which bypass the batch engine
+        and are solved per-cell inside the flush).
+    """
+
+    def __init__(self, cache: ResultCache | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 window_ms: float = DEFAULT_WINDOW_MS,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 sim_retries: int = 2):
+        if window_ms <= 0:
+            raise ValueError(f"window_ms must be > 0, got {window_ms!r}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
+        self.cache = cache
+        self.metrics = metrics
+        self.window_ms = float(window_ms)
+        self.max_batch = max_batch
+        self.sim_retries = sim_retries
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._queue: list[_Pending] = []
+        self._by_key: dict[str, _Pending] = {}
+        self._closed = False
+        # Lifetime totals (the load benchmark reads these).
+        self._batches = 0
+        self._batch_cells = 0
+        self._deduped = 0
+        self._wait_seconds = 0.0
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="repro-coalescer", daemon=True)
+        self._flusher.start()
+
+    # -- submission ------------------------------------------------------
+
+    def submit_request(self, tasks: Sequence[CellTask],
+                       unwrap: bool = False) -> tuple[Future, list[bool]]:
+        """Queue every cell of one request behind a *single* future.
+
+        Returns ``(future, cached_flags)``: the future resolves to the
+        list of per-cell cache-value dicts in task order (an
+        ``{"error": ...}`` payload for a dead cell -- the caller turns
+        it into an error row exactly like the executor does).  Cells
+        already in the cache resolve their slot immediately and are
+        flagged ``True``; with every cell cached the future is already
+        resolved on return.  One lock acquisition and at most one
+        flusher wake-up per request, regardless of cell count.
+        """
+        waiter = _Waiter(len(tasks), unwrap=unwrap)
+        if not tasks:
+            waiter.future.set_result([])
+            return waiter.future, []
+        cached = [False] * len(tasks)
+        resolved: list[tuple[int, dict[str, Any]]] = []
+        misses: list[tuple[int, CellTask]] = []
+        for slot, task in enumerate(tasks):
+            hit = (self.cache.get(task.key)
+                   if self.cache is not None else None)
+            if hit is not None:
+                cached[slot] = True
+                resolved.append((slot, hit))
+            else:
+                misses.append((slot, task))
+        self._count_lookups(hits=len(resolved), misses=len(misses))
+        deduped = 0
+        solo: list[tuple[int, CellTask]] = []
+        with self._lock:
+            if self._closed:
+                # Late submission during shutdown: solve inline rather
+                # than strand the waiter.
+                solo = misses
+            else:
+                now = time.monotonic()
+                enqueued = 0
+                for slot, task in misses:
+                    pending = self._by_key.get(task.key)
+                    if pending is None:
+                        pending = _Pending(task=task, enqueued_at=now)
+                        self._queue.append(pending)
+                        self._by_key[task.key] = pending
+                        enqueued += 1
+                    else:
+                        deduped += 1
+                    pending.waiters.append((waiter, slot))
+                if enqueued:
+                    self._set_depth(len(self._queue))
+                    self._wake.notify_all()
+            self._deduped += deduped
+        if deduped and self.metrics is not None:
+            self.metrics.counter(
+                "repro_coalesce_deduped_total",
+                "Cells answered by attaching to an identical "
+                "in-flight cell.").inc(deduped)
+        resolved.extend((slot, self._solo(task)) for slot, task in solo)
+        for slot, value in resolved:
+            waiter.deliver(slot, value)
+        return waiter.future, cached
+
+    def submit(self, task: CellTask) -> tuple[Future, bool]:
+        """Queue one cell; returns ``(future, cached)``.
+
+        The single-cell convenience over :meth:`submit_request`: the
+        future resolves to the cell's value dict directly.
+        """
+        future, cached = self.submit_request([task], unwrap=True)
+        return future, cached[0]
+
+    def submit_all(self, tasks: Sequence[CellTask]
+                   ) -> tuple[list[Future], list[bool]]:
+        """Queue cells with one future *each* (fan-out callers that
+        consume results cell-by-cell; request handlers should prefer
+        the single-future :meth:`submit_request`)."""
+        futures: list[Future] = []
+        cached: list[bool] = []
+        for task in tasks:
+            future, was_cached = self.submit(task)
+            futures.append(future)
+            cached.append(was_cached)
+        return futures, cached
+
+    def close(self) -> None:
+        """Flush whatever is queued and stop the flusher thread."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.notify_all()
+        self._flusher.join(timeout=10)
+
+    def stats(self) -> dict[str, Any]:
+        """Lifetime batching totals (for benchmarks and capabilities)."""
+        with self._lock:
+            batches = self._batches
+            cells = self._batch_cells
+            deduped = self._deduped
+            wait = self._wait_seconds
+        return {
+            "batches": batches,
+            "cells": cells,
+            "deduped": deduped,
+            "mean_batch_cells": cells / batches if batches else 0.0,
+            "mean_wait_ms": 1000.0 * wait / cells if cells else 0.0,
+        }
+
+    # -- the flusher thread ----------------------------------------------
+
+    def _flush_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._wake.wait()
+                if not self._queue:
+                    return  # closed and drained
+                reason = self._await_trigger()
+                batch = self._queue[:self.max_batch]
+                del self._queue[:self.max_batch]
+                for entry in batch:
+                    self._by_key.pop(entry.task.key, None)
+                self._set_depth(len(self._queue))
+            self._solve(batch, reason)
+
+    def _await_trigger(self) -> str:
+        """Hold the lock until a flush trigger fires; returns the reason."""
+        while True:
+            if len(self._queue) >= self.max_batch:
+                return "max-batch"
+            if self._closed:
+                return "close"
+            remaining = (self._queue[0].enqueued_at
+                         + self.window_ms / 1000.0) - time.monotonic()
+            if remaining <= 0:
+                return "window"
+            self._wake.wait(timeout=remaining)
+
+    def _solve(self, batch: list[_Pending], reason: str) -> None:
+        flushed_at = time.monotonic()
+        waited = [flushed_at - entry.enqueued_at for entry in batch]
+        self._record_flush(batch, reason, waited)
+        tasks = [entry.task for entry in batch]
+        mva = [i for i, task in enumerate(tasks) if task.method == "mva"]
+        values: dict[int, dict[str, Any]] = {}
+        if mva:
+            try:
+                results = evaluate_mva_batch([tasks[i] for i in mva])
+            except Exception:  # noqa: BLE001 - engine fallback, not cells
+                results = [evaluate_with_retry(tasks[i], self.sim_retries)
+                           for i in mva]
+            values.update(zip(mva, results))
+        for i, task in enumerate(tasks):
+            if i not in values:
+                values[i] = evaluate_with_retry(task, self.sim_retries)
+        solved: list[tuple[CellTask, dict[str, Any]]] = []
+        for i, entry in enumerate(batch):
+            value = values[i]
+            if value.get("error") is not None:
+                record_failure_metric(self.metrics, entry.task)
+            else:
+                solved.append((entry.task, value))
+        record_solve_metrics_batch(self.metrics, solved)
+        if solved and self.cache is not None:
+            # Cache before fan-out so a client that re-submits the
+            # moment its response lands hits the cache, not the queue.
+            self.cache.put_many(
+                (task.key, value) for task, value in solved)
+            self.cache.flush()
+        for i, entry in enumerate(batch):
+            value = values[i]
+            for waiter, slot in entry.waiters:
+                waiter.deliver(slot, value)
+
+    def _solo(self, task: CellTask) -> dict[str, Any]:
+        """The post-close inline path (identical value, no batching)."""
+        value = evaluate_with_retry(task, self.sim_retries)
+        if value.get("error") is not None:
+            record_failure_metric(self.metrics, task)
+        else:
+            if self.cache is not None:
+                self.cache.put(task.key, value)
+                self.cache.flush()
+            record_solve_metrics(self.metrics, task, value)
+        return value
+
+    # -- metrics ---------------------------------------------------------
+
+    def _count_lookups(self, hits: int, misses: int) -> None:
+        if self.metrics is None:
+            return
+        if hits:
+            self.metrics.counter(
+                "repro_cache_hits_total",
+                "Sweep cells answered from the result cache.").inc(hits)
+        if misses:
+            self.metrics.counter(
+                "repro_cache_misses_total",
+                "Sweep cells that required a fresh solve.").inc(misses)
+
+    def _set_depth(self, depth: int) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_coalesce_queue_depth",
+                "Cells currently parked awaiting a batch flush.",
+            ).set(depth)
+
+    def _record_flush(self, batch: list[_Pending], reason: str,
+                      waited: list[float]) -> None:
+        with self._lock:
+            self._batches += 1
+            self._batch_cells += len(batch)
+            self._wait_seconds += sum(waited)
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "repro_coalesce_flushes_total",
+            "Batch flushes by trigger.").labels(reason=reason).inc()
+        self.metrics.histogram(
+            "repro_coalesce_batch_cells",
+            "Cells per coalesced batch flush.",
+            buckets=DEFAULT_BATCH_BUCKETS).observe(len(batch))
+        wait_hist = self.metrics.histogram(
+            "repro_coalesce_wait_seconds",
+            "How long each cell waited in the coalescing queue.").labels()
+        for wait in waited:
+            wait_hist.observe(wait)

@@ -489,6 +489,166 @@ class SweepResult:
     meta: list[dict[str, Any]] = field(default_factory=list)
 
 
+def failed_cell(index: int, task: CellTask,
+                value: dict[str, Any]) -> FailedCell:
+    """The structured failure record for one error-payload value."""
+    error = value["error"]
+    return FailedCell(
+        index=index,
+        protocol=task.protocol.label,
+        sharing=task.sharing_label,
+        n_processors=task.n,
+        method=task.method,
+        error_type=str(error.get("type", "Exception")),
+        message=str(error.get("message", "")),
+        attempts=int(value.get("attempts", 1)),
+        ladder=tuple(error.get("ladder", ())))
+
+
+def collect_sweep_result(tasks: Sequence[CellTask],
+                         values: dict[int, dict[str, Any]],
+                         cached_flags: Sequence[bool], *,
+                         wall_seconds: float, jobs: int,
+                         mode: str) -> SweepResult:
+    """Assemble a :class:`SweepResult` from per-cell worker values.
+
+    The shared consumer-side tail of every dispatch path (serial, pool,
+    chunked queue, and the request coalescer): error payloads become
+    error rows plus :class:`FailedCell` records, everything else a
+    :class:`GridCell`, in task order.
+    """
+    cells: list[GridCell] = []
+    failures: list[FailedCell] = []
+    meta: list[dict[str, Any]] = []
+    for index, task in enumerate(tasks):
+        value = values[index]
+        meta.append({k: v for k, v in value.items() if k != "cell"})
+        if value.get("error") is not None:
+            failure = failed_cell(index, task, value)
+            failures.append(failure)
+            cells.append(GridCell.failed(
+                protocol=task.protocol.label,
+                sharing=task.sharing_label,
+                n_processors=task.n,
+                method=task.method,
+                error=f"{failure.error_type}: {failure.message}"))
+        else:
+            cells.append(GridCell(**value["cell"]))
+
+    fresh = [index for index in range(len(tasks)) if not cached_flags[index]]
+    retries = sum(max(values[index].get("attempts", 1) - 1, 0)
+                  for index in fresh)
+    recovered = sum(1 for index in fresh if values[index].get("recovered"))
+    summary = ExecutorSummary(
+        total=len(tasks), solved=len(fresh),
+        cache_hits=sum(cached_flags), retries=retries,
+        wall_seconds=wall_seconds, jobs=jobs, mode=mode,
+        failed=len(failures), recovered=recovered)
+    return SweepResult(cells=cells, cached=list(cached_flags),
+                       summary=summary, failures=failures, meta=meta)
+
+
+def record_failure_metric(metrics: MetricsRegistry | None,
+                          task: CellTask) -> None:
+    """Count one dead cell (shared by the executor and the coalescer)."""
+    if metrics is None:
+        return
+    metrics.counter(
+        "repro_cells_failed_total",
+        "Cells that exhausted every retry/recovery path.",
+    ).labels(method=task.method).inc()
+
+
+def record_solve_metrics(metrics: MetricsRegistry | None, task: CellTask,
+                         value: dict[str, Any]) -> None:
+    """Record one fresh solve (shared by the executor and the coalescer)."""
+    if metrics is None:
+        return
+    metrics.counter(
+        "repro_cells_solved_total",
+        "Cells solved fresh (not served from cache).",
+    ).labels(method=task.method).inc()
+    metrics.histogram(
+        "repro_solve_latency_seconds",
+        "Per-cell solve wall time.",
+    ).labels(method=task.method).observe(value.get("elapsed_s", 0.0))
+    attempts = value.get("attempts", 1)
+    if attempts > 1:
+        metrics.counter(
+            "repro_sim_retries_total",
+            "Simulation cells that needed retry attempts.",
+        ).inc(attempts - 1)
+    if value.get("recovered"):
+        metrics.counter(
+            "repro_cells_recovered_total",
+            "MVA cells rescued by the damping ladder.",
+        ).inc()
+    iterations = value.get("iterations")
+    if iterations is not None:
+        metrics.histogram(
+            "repro_solver_iterations",
+            "Fixed-point sweeps to convergence (MVA cells).",
+            buckets=DEFAULT_ITERATION_BUCKETS,
+        ).observe(iterations)
+
+
+def record_solve_metrics_batch(
+        metrics: MetricsRegistry | None,
+        solved: Sequence[tuple[CellTask, dict[str, Any]]]) -> None:
+    """Record a whole batch of fresh solves in one pass.
+
+    Same series as :func:`record_solve_metrics` -- a coalesced cell is
+    indistinguishable from an executor cell on a dashboard -- but the
+    registry/label lookups are paid once per batch instead of once per
+    cell, which matters on the coalescer's flusher thread where a batch
+    is hundreds of cells.
+    """
+    if metrics is None or not solved:
+        return
+    solved_family = metrics.counter(
+        "repro_cells_solved_total",
+        "Cells solved fresh (not served from cache).")
+    latency_family = metrics.histogram(
+        "repro_solve_latency_seconds",
+        "Per-cell solve wall time.")
+    by_method: dict[str, int] = {}
+    retries = 0
+    recovered = 0
+    iteration_values: list[float] = []
+    latency_children: dict[str, Any] = {}
+    for task, value in solved:
+        method = task.method
+        by_method[method] = by_method.get(method, 0) + 1
+        child = latency_children.get(method)
+        if child is None:
+            child = latency_children[method] = (
+                latency_family.labels(method=method))
+        child.observe(value.get("elapsed_s", 0.0))
+        retries += max(value.get("attempts", 1) - 1, 0)
+        if value.get("recovered"):
+            recovered += 1
+        iterations = value.get("iterations")
+        if iterations is not None:
+            iteration_values.append(iterations)
+    for method, count in by_method.items():
+        solved_family.labels(method=method).inc(count)
+    if retries:
+        metrics.counter(
+            "repro_sim_retries_total",
+            "Simulation cells that needed retry attempts.").inc(retries)
+    if recovered:
+        metrics.counter(
+            "repro_cells_recovered_total",
+            "MVA cells rescued by the damping ladder.").inc(recovered)
+    if iteration_values:
+        iteration_hist = metrics.histogram(
+            "repro_solver_iterations",
+            "Fixed-point sweeps to convergence (MVA cells).",
+            buckets=DEFAULT_ITERATION_BUCKETS).labels()
+        for iterations in iteration_values:
+            iteration_hist.observe(iterations)
+
+
 class SweepExecutor:
     """Runs cell tasks through the cache and (optionally) a process pool.
 
@@ -620,37 +780,10 @@ class SweepExecutor:
             if self.cache is not None:
                 self.cache.flush()
 
-        cells: list[GridCell] = []
-        failures: list[FailedCell] = []
-        meta: list[dict[str, Any]] = []
-        for index, task in enumerate(tasks):
-            value = values[index]
-            meta.append({k: v for k, v in value.items() if k != "cell"})
-            error = value.get("error")
-            if error is not None:
-                failure = self._failure(index, task, value)
-                failures.append(failure)
-                cells.append(GridCell.failed(
-                    protocol=task.protocol.label,
-                    sharing=task.sharing_label,
-                    n_processors=task.n,
-                    method=task.method,
-                    error=f"{failure.error_type}: {failure.message}"))
-            else:
-                cells.append(GridCell(**value["cell"]))
-
-        retries = sum(max(values[index].get("attempts", 1) - 1, 0)
-                      for index, _ in pending)
-        recovered = sum(1 for index, _ in pending
-                        if values[index].get("recovered"))
-        summary = ExecutorSummary(
-            total=len(tasks), solved=len(pending),
-            cache_hits=sum(cached_flags), retries=retries,
+        return collect_sweep_result(
+            tasks, values, cached_flags,
             wall_seconds=time.perf_counter() - started,
-            jobs=self.jobs, mode=mode,
-            failed=len(failures), recovered=recovered)
-        return SweepResult(cells=cells, cached=cached_flags,
-                           summary=summary, failures=failures, meta=meta)
+            jobs=self.jobs, mode=mode)
 
     # -- internals -------------------------------------------------------
 
@@ -768,56 +901,14 @@ class SweepExecutor:
     @staticmethod
     def _failure(index: int, task: CellTask,
                  value: dict[str, Any]) -> FailedCell:
-        error = value["error"]
-        return FailedCell(
-            index=index,
-            protocol=task.protocol.label,
-            sharing=task.sharing_label,
-            n_processors=task.n,
-            method=task.method,
-            error_type=str(error.get("type", "Exception")),
-            message=str(error.get("message", "")),
-            attempts=int(value.get("attempts", 1)),
-            ladder=tuple(error.get("ladder", ())))
+        return failed_cell(index, task, value)
 
     def _count(self, name: str, help_text: str, amount: int) -> None:
         if self.metrics is not None and amount:
             self.metrics.counter(name, help_text).inc(amount)
 
     def _record_failure(self, task: CellTask) -> None:
-        if self.metrics is None:
-            return
-        self.metrics.counter(
-            "repro_cells_failed_total",
-            "Cells that exhausted every retry/recovery path.",
-        ).labels(method=task.method).inc()
+        record_failure_metric(self.metrics, task)
 
     def _record_solve(self, task: CellTask, value: dict[str, Any]) -> None:
-        if self.metrics is None:
-            return
-        self.metrics.counter(
-            "repro_cells_solved_total",
-            "Cells solved fresh (not served from cache).",
-        ).labels(method=task.method).inc()
-        self.metrics.histogram(
-            "repro_solve_latency_seconds",
-            "Per-cell solve wall time.",
-        ).labels(method=task.method).observe(value.get("elapsed_s", 0.0))
-        attempts = value.get("attempts", 1)
-        if attempts > 1:
-            self.metrics.counter(
-                "repro_sim_retries_total",
-                "Simulation cells that needed retry attempts.",
-            ).inc(attempts - 1)
-        if value.get("recovered"):
-            self.metrics.counter(
-                "repro_cells_recovered_total",
-                "MVA cells rescued by the damping ladder.",
-            ).inc()
-        iterations = value.get("iterations")
-        if iterations is not None:
-            self.metrics.histogram(
-                "repro_solver_iterations",
-                "Fixed-point sweeps to convergence (MVA cells).",
-                buckets=DEFAULT_ITERATION_BUCKETS,
-            ).observe(iterations)
+        record_solve_metrics(self.metrics, task, value)

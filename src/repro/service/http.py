@@ -1,65 +1,52 @@
-"""Stdlib-only HTTP JSON API over :class:`repro.service.app.ModelService`.
+"""Threaded stdlib HTTP front-end over :mod:`repro.service.router`.
 
-``http.server`` is all we need: the heavy lifting (process-pool fan-out)
-happens in the executor, so a :class:`ThreadingHTTPServer` front -- one
-thread per connection -- comfortably serves interactive exploration
-traffic without any third-party framework.
+``http.server`` is all we need for interactive exploration traffic: a
+:class:`ThreadingHTTPServer` pins one thread per connection and hands
+every request to the shared transport-agnostic router, so this server
+and the asyncio front-end (:mod:`repro.service.aio`) expose exactly the
+same consolidated ``/v1`` surface -- see :mod:`repro.service.router`
+for the route table, the structured error envelope, and the 410 policy
+for the retired legacy unversioned endpoints.
 
-Routes (the versioned API)::
-
-    GET  /v1/healthz        liveness JSON
-    GET  /v1/metrics        Prometheus text exposition
-    POST /v1/solve          one protocol, one or more sizes
-    POST /v1/grid           full sweep (protocols x sharing x N)
-    POST /v1/sweep          submit an async sharded sweep (no legacy alias)
-    GET  /v1/sweep/{job_id} sweep progress counters
-    POST /v1/verify         run the verification suite (no legacy alias)
-
-``/v1`` errors are a structured envelope::
-
-    {"error": {"code": "bad-request", "message": "...", "detail": ...}}
-
-with 400 for malformed bodies or parameters (including unknown
-top-level request fields, which ``/v1`` rejects), 404 for unknown
-routes, 405 (plus an ``Allow`` header) for wrong methods, 413 for
-oversized bodies and 500 for unexpected failures.
-
-The legacy unversioned paths (``/solve``, ``/grid``, ``/healthz``,
-``/metrics``) keep working with their historical lenient parsing and
-flat error bodies (``{"error": "..."}``), but every legacy response
-carries a ``Deprecation: true`` header and a ``Link`` to its ``/v1``
-successor (RFC 8594 style); see ``docs/api.md`` for the deprecation
-policy.
+For high-concurrency ``/v1/solve`` traffic prefer the asyncio server
+(``repro serve --async``): thread-per-connection tops out at a few
+hundred concurrent clients, while the async front-end holds thousands
+of connections and feeds the same :class:`repro.service.coalesce
+.SolveCoalescer` without a thread each.  When the bound service has a
+coalescer attached, this threaded server uses it too -- each handler
+thread blocks on its batch future -- so the two fronts stay
+byte-identical per response.
 """
 
 from __future__ import annotations
 
-import json
 import logging
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.service.app import ModelService, ServiceError
+from repro.service.router import (
+    API_VERSION,
+    MAX_BODY_BYTES,
+    Response,
+    error_response,
+    handle,
+)
 
 _LOG = logging.getLogger(__name__)
 
-#: Reject request bodies over this size before reading them fully.
-MAX_BODY_BYTES = 8 * 1024 * 1024
-
-#: The current (only) API version prefix.
-API_VERSION = "v1"
-
-#: Endpoint -> allowed method; shared by routing and 405 ``Allow``.
-_GET_ROUTES = ("/healthz", "/metrics")
-_POST_ROUTES = ("/solve", "/grid", "/sweep", "/verify")
-#: Endpoints that exist only under ``/v1`` (no legacy alias to honour).
-_VERSIONED_ONLY = ("/sweep", "/verify")
+__all__ = ["API_VERSION", "MAX_BODY_BYTES", "ServiceHTTPServer",
+           "start_server"]
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
     """A threading HTTP server bound to one :class:`ModelService`."""
 
     daemon_threads = True
+    # Responses are written as one buffered flush (see the handler's
+    # ``wbufsize``); without TCP_NODELAY the header/body send split
+    # still interacts with delayed ACKs into ~40 ms response stalls.
+    disable_nagle_algorithm = True
 
     def __init__(self, service: ModelService, host: str = "127.0.0.1",
                  port: int = 0):
@@ -75,148 +62,38 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
     server: ServiceHTTPServer
     protocol_version = "HTTP/1.1"
-
-    # -- routing ---------------------------------------------------------
-
-    def _route(self) -> tuple[str, bool]:
-        """Split the request path into (endpoint, versioned)."""
-        prefix = f"/{API_VERSION}"
-        if self.path == prefix or self.path.startswith(prefix + "/"):
-            return self.path[len(prefix):] or "/", True
-        return self.path, False
+    # Buffer the status line + headers + body into one send instead of
+    # the default unbuffered write-per-line (a Nagle/delayed-ACK trap).
+    wbufsize = 64 * 1024
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        service = self.server.service
-        endpoint, versioned = self._route()
-        if endpoint == "/healthz":
-            self._send_json(200, service.health(),
-                            deprecated=not versioned)
-        elif endpoint == "/metrics":
-            self._send_text(200, service.metrics_text(),
-                            content_type="text/plain; version=0.0.4; "
-                                         "charset=utf-8",
-                            deprecated=not versioned)
-        elif versioned and endpoint.startswith("/sweep/"):
-            job_id = endpoint[len("/sweep/"):]
-            try:
-                self._send_json(200, service.sweep_status(job_id))
-            except ServiceError as exc:
-                self._send_json(exc.status,
-                                self._error_body(exc, versioned))
-        elif (endpoint in _POST_ROUTES
-              and (versioned or endpoint not in _VERSIONED_ONLY)):
-            self._send_error(405, f"{self.path} requires POST", versioned,
-                             deprecated=not versioned,
-                             headers={"Allow": "POST"})
-        else:
-            self._send_error(404, f"unknown path {self.path!r}", versioned)
+        self._respond(handle(self.server.service, "GET", self.path, None))
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        service = self.server.service
-        endpoint, versioned = self._route()
-        if endpoint in _VERSIONED_ONLY and not versioned:
-            self._send_error(404, f"unknown path {self.path!r} "
-                             f"(did you mean /{API_VERSION}{self.path}?)",
-                             versioned)
-            return
-        if endpoint == "/solve":
-            handler = service.solve
-        elif endpoint == "/grid":
-            handler = service.grid
-        elif endpoint == "/sweep":
-            handler = service.sweep
-        elif endpoint == "/verify":
-            handler = service.verify
-        elif versioned and endpoint.startswith("/sweep/"):
-            self._send_error(405, f"{self.path} requires GET", versioned,
-                             headers={"Allow": "GET"})
-            return
-        elif endpoint in _GET_ROUTES:
-            self._send_error(405, f"{self.path} requires GET", versioned,
-                             deprecated=not versioned,
-                             headers={"Allow": "GET"})
-            return
-        else:
-            self._send_error(404, f"unknown path {self.path!r}", versioned)
-            return
         try:
-            payload = self._read_json_body()
-            response = handler(payload, strict=versioned)
+            body = self._read_body()
         except ServiceError as exc:
-            self._send_json(exc.status, self._error_body(exc, versioned),
-                            deprecated=not versioned)
-        except Exception as exc:  # noqa: BLE001 - must answer the client
-            _LOG.exception("unhandled error serving %s", self.path)
-            self._send_json(
-                500,
-                self._error_body(
-                    ServiceError(500, f"internal error: {exc}"), versioned),
-                deprecated=not versioned)
-        else:
-            self._send_json(200, response, deprecated=not versioned)
+            self._respond(error_response(exc))
+            return
+        self._respond(handle(self.server.service, "POST", self.path, body))
 
-    # -- helpers ---------------------------------------------------------
-
-    @staticmethod
-    def _error_body(exc: ServiceError, versioned: bool) -> dict[str, Any]:
-        """The ``/v1`` envelope, or the historical flat legacy body."""
-        if versioned:
-            return {"error": {"code": exc.code, "message": exc.message,
-                              "detail": exc.details}}
-        body: dict[str, Any] = {"error": exc.message}
-        if exc.details:
-            body.update(exc.details)
-        return body
-
-    def _send_error(self, status: int, message: str, versioned: bool,
-                    deprecated: bool = False,
-                    headers: dict[str, str] | None = None) -> None:
-        self._send_json(status,
-                        self._error_body(ServiceError(status, message),
-                                         versioned),
-                        deprecated=deprecated, headers=headers)
-
-    def _read_json_body(self) -> Any:
+    def _read_body(self) -> bytes:
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError as exc:
             raise ServiceError(400, "bad Content-Length header") from exc
-        if length <= 0:
-            raise ServiceError(400, "empty request body (expected JSON)")
         if length > MAX_BODY_BYTES:
             raise ServiceError(413, "request body too large")
-        raw = self.rfile.read(length)
-        try:
-            return json.loads(raw)
-        except ValueError as exc:
-            raise ServiceError(400, "request body is not valid JSON: "
-                                    f"{exc}") from exc
+        return self.rfile.read(length) if length > 0 else b""
 
-    def _send_json(self, status: int, payload: Any,
-                   deprecated: bool = False,
-                   headers: dict[str, str] | None = None) -> None:
-        self._send_text(status, json.dumps(payload),
-                        content_type="application/json",
-                        deprecated=deprecated, headers=headers)
-
-    def _send_text(self, status: int, body: str, content_type: str,
-                   deprecated: bool = False,
-                   headers: dict[str, str] | None = None) -> None:
-        data = body.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(data)))
-        if deprecated:
-            # RFC 8594-style deprecation signalling on every legacy
-            # (unversioned) response, pointing at the /v1 successor.
-            self.send_header("Deprecation", "true")
-            self.send_header(
-                "Link", f"</{API_VERSION}{self.path}>; "
-                        'rel="successor-version"')
-        for name, value in (headers or {}).items():
+    def _respond(self, response: Response) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers:
             self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(data)
+        self.wfile.write(response.body)
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         _LOG.debug("%s - %s", self.address_string(), format % args)

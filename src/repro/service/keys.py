@@ -30,6 +30,8 @@ from functools import lru_cache
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from collections.abc import Sequence
+
     from repro.service.executor import CellTask
 
 #: Bump when the solved-cell payload schema changes so stale persistent
@@ -107,6 +109,74 @@ def task_key_payload(task: "CellTask") -> dict[str, Any]:
     return payload
 
 
+@lru_cache(maxsize=1024)
+def _document_parts(method: str, protocol: Any, arch: Any, solver: Any,
+                    workload: Any, sharing_label: str,
+                    sim_requests: int | None, sim_seed: int | None
+                    ) -> tuple[str, str]:
+    """The canonical document split around the only per-cell field.
+
+    Everything except ``n`` is shared by every cell of a solve request
+    (and by thousands of cells of a sweep), so the document is cached
+    as a ``(prefix, suffix)`` pair keyed by those shared components:
+    deriving one more cell's key is a string concatenation plus one
+    SHA-256, which keeps key derivation out of the coalesced request
+    hot path.
+    """
+    sim = (f',"sim":{{"requests":{json.dumps(sim_requests)},'
+           f'"seed":{json.dumps(sim_seed)}}}'
+           if method == "sim" else "")
+    protocol_doc = (f'{{"label":{_fragment(protocol.label)},'
+                    f'"mods":{_fragment(protocol.mod_numbers)}}}')
+    prefix = (f'{{"arch":{_fragment(arch)},'
+              f'"method":{_fragment(method)},'
+              f'"n":')
+    suffix = (f',"protocol":{protocol_doc},'
+              f'"schema":{SCHEMA_VERSION},'
+              f'"sharing":{_fragment(sharing_label)}'
+              f'{sim},'
+              f'"solver":{_fragment(solver)},'
+              f'"workload":{_fragment(workload)}}}')
+    return prefix, suffix
+
+
+def prime_task_keys(tasks: "Sequence[CellTask]") -> None:
+    """Memoize ``.key`` for a run of tasks sharing every component but
+    ``n`` (one solve request's speedup curve).
+
+    The shared document parts are derived -- and the component
+    dataclasses hashed -- once for the whole run; each cell's key is
+    then one string concatenation plus one SHA-256, instead of the
+    per-task component hashing ``task_key`` pays.  Tasks that already
+    carry a key, or that do not share the first task's components,
+    simply fall back to the general path; keys are byte-identical
+    either way.
+    """
+    if not tasks:
+        return
+    first = tasks[0]
+    sim = first.method == "sim"
+    prefix, suffix = _document_parts(
+        first.method, first.protocol, first.arch, first.solver,
+        first.workload, first.sharing_label,
+        first.sim_requests if sim else None,
+        first.sim_seed if sim else None)
+    shared = (first.method, first.protocol, first.arch, first.solver,
+              first.workload, first.sharing_label, first.sim_requests,
+              first.sim_seed)
+    for task in tasks:
+        if "_key" in task.__dict__:
+            continue
+        if (task.method, task.protocol, task.arch, task.solver,
+                task.workload, task.sharing_label, task.sim_requests,
+                task.sim_seed) != shared:
+            _ = task.key  # mixed run: the general per-task path
+            continue
+        digest = hashlib.sha256(
+            f"{prefix}{task.n}{suffix}".encode("utf-8")).hexdigest()
+        object.__setattr__(task, "_key", digest)
+
+
 def task_key(task: "CellTask") -> str:
     """The cache key of one executor cell task.
 
@@ -119,20 +189,10 @@ def task_key(task: "CellTask") -> str:
     instances across thousands of cells), byte-identical to hashing
     :func:`task_key_payload` directly; keys are stable either way.
     """
-    sim = (f',"sim":{{"requests":{json.dumps(task.sim_requests)},'
-           f'"seed":{json.dumps(task.sim_seed)}}}'
-           if task.method == "sim" else "")
-    protocol = (f'{{"label":{_fragment(task.protocol.label)},'
-                f'"mods":{_fragment(task.protocol.mod_numbers)}}}')
-    document = (
-        f'{{"arch":{_fragment(task.arch)},'
-        f'"method":{_fragment(task.method)},'
-        f'"n":{task.n},'
-        f'"protocol":{protocol},'
-        f'"schema":{SCHEMA_VERSION},'
-        f'"sharing":{_fragment(task.sharing_label)}'
-        f'{sim},'
-        f'"solver":{_fragment(task.solver)},'
-        f'"workload":{_fragment(task.workload)}}}'
-    )
+    sim = task.method == "sim"
+    prefix, suffix = _document_parts(
+        task.method, task.protocol, task.arch, task.solver, task.workload,
+        task.sharing_label,
+        task.sim_requests if sim else None, task.sim_seed if sim else None)
+    document = f"{prefix}{task.n}{suffix}"
     return hashlib.sha256(document.encode("utf-8")).hexdigest()

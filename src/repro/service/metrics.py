@@ -31,6 +31,11 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
 DEFAULT_ITERATION_BUCKETS: tuple[float, ...] = (
     1, 2, 3, 4, 5, 8, 10, 15, 20, 30, 50, 100, 200, 500)
 
+#: Coalesced-batch size buckets (cells per flush): powers of two up to
+#: the default ``max_batch`` and one bucket beyond it.
+DEFAULT_BATCH_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
 
 def _format_value(value: float) -> str:
     """Prometheus-style number: integers without a trailing ``.0``."""

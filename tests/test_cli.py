@@ -177,6 +177,10 @@ class TestGridServiceFlags:
         assert args.jobs == 1
         assert args.cache is None
         assert args.engine == "scalar"
+        assert getattr(args, "async") is False
+        assert args.coalesce_window_ms == 2.0
+        assert args.max_batch == 256
+        assert args.no_coalesce is False
 
 
 class TestEngineFlag:
@@ -250,8 +254,8 @@ class TestSweepSubcommand:
 
 class TestServeSubcommand:
     def test_serve_answers_solve_and_healthz(self, tmp_path):
-        """`repro serve` on an ephemeral port answers POST /solve with
-        the same speedup the `solve` subcommand prints."""
+        """`repro serve` on an ephemeral port answers POST /v1/solve
+        with the same speedup the `solve` subcommand prints."""
         import json
         import os
         import re
@@ -273,11 +277,12 @@ class TestServeSubcommand:
             match = re.search(r"http://[\d.]+:\d+", banner)
             assert match, f"no listen URL in banner: {banner!r}"
             url = match.group(0)
-            with urllib.request.urlopen(url + "/healthz", timeout=10) as resp:
+            with urllib.request.urlopen(url + "/v1/healthz",
+                                        timeout=10) as resp:
                 assert resp.status == 200
                 assert json.loads(resp.read())["status"] == "ok"
             request = urllib.request.Request(
-                url + "/solve",
+                url + "/v1/solve",
                 data=json.dumps({"protocol": "berkeley", "n": 10}).encode(),
                 headers={"Content-Type": "application/json"})
             with urllib.request.urlopen(request, timeout=30) as resp:

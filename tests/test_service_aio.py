@@ -1,0 +1,212 @@
+"""End-to-end tests for the asyncio HTTP front-end.
+
+The async server must present exactly the same /v1 surface as the
+threaded one (it routes through the shared router), while handling
+coalesced solves natively on the event loop.  These tests exercise the
+transport itself -- keep-alive, pipelined requests on one connection,
+malformed request lines, clients that disconnect mid-wait -- plus the
+parity of its responses with the threaded server's.
+"""
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ModelService, start_async_server, start_server
+
+
+@pytest.fixture()
+def handle():
+    service = ModelService.with_coalescer(window_ms=5)
+    handle = start_async_server(service)
+    yield handle
+    handle.shutdown()
+    service.close()
+
+
+def _get(url, path):
+    try:
+        with urllib.request.urlopen(url + path, timeout=10) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def _post(url, path, body):
+    request = urllib.request.Request(
+        url + path, data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _raw_request(handle, payload: bytes) -> bytes:
+    """Send raw bytes on a fresh socket; read until the server closes."""
+    with socket.create_connection(
+            (handle.server.host, handle.server.port), timeout=10) as sock:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while chunk := sock.recv(65536):
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+class TestRoutes:
+    def test_healthz(self, handle):
+        status, _, body = _get(handle.url, "/v1/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_solve_is_coalesced(self, handle):
+        status, body = _post(handle.url, "/v1/solve",
+                             {"protocol": "berkeley", "n": [4, 10]})
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["summary"]["mode"] == "coalesced"
+        assert [r["n_processors"] for r in payload["results"]] == [4, 10]
+        assert handle.service.coalescer.stats()["cells"] == 2
+
+    def test_solve_error_envelope(self, handle):
+        status, body = _post(handle.url, "/v1/solve", {"n": 4})
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "missing-field"
+
+    def test_grid_runs_in_executor(self, handle):
+        status, body = _post(handle.url, "/v1/grid",
+                             {"protocols": ["berkeley"], "sharing": ["5"],
+                              "n": [2, 4]})
+        assert status == 200
+        assert len(json.loads(body)["cells"]) == 2
+
+    def test_metrics_exposition(self, handle):
+        _post(handle.url, "/v1/solve", {"protocol": "berkeley", "n": 4})
+        status, headers, body = _get(handle.url, "/v1/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert b"repro_coalesce_flushes_total" in body
+
+    def test_legacy_endpoints_are_gone(self, handle):
+        status, headers, body = _get(handle.url, "/healthz")
+        assert status == 410
+        error = json.loads(body)["error"]
+        assert error["code"] == "gone"
+        assert error["detail"]["successor"] == "/v1/healthz"
+        assert "successor-version" in headers["Link"]
+
+    def test_unknown_path_404(self, handle):
+        status, _, body = _get(handle.url, "/v1/nope")
+        assert status == 404
+        assert json.loads(body)["error"]["code"] == "not-found"
+
+    def test_method_not_allowed_405(self, handle):
+        status, headers, _ = _get(handle.url, "/v1/solve")
+        assert status == 405
+        assert headers["Allow"] == "POST"
+
+
+class TestTransport:
+    def test_keep_alive_serves_pipelined_requests(self, handle):
+        request = (f"GET /v1/healthz HTTP/1.1\r\n"
+                   f"Host: {handle.server.host}\r\n\r\n").encode()
+        raw = _raw_request(handle, request * 2)
+        assert raw.count(b"HTTP/1.1 200 OK") == 2
+        assert raw.count(b'"status":"ok"') == 2
+
+    def test_connection_close_honoured(self, handle):
+        request = (f"GET /v1/healthz HTTP/1.1\r\n"
+                   f"Host: {handle.server.host}\r\n"
+                   f"Connection: close\r\n\r\n").encode()
+        raw = _raw_request(handle, request)
+        assert b"Connection: close" in raw
+
+    def test_malformed_request_line_400(self, handle):
+        raw = _raw_request(handle, b"NONSENSE\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 400 ")
+
+    def test_truncated_body_400(self, handle):
+        request = (b"POST /v1/solve HTTP/1.1\r\n"
+                   b"Content-Length: 500\r\n\r\n"
+                   b'{"protocol":')
+        raw = _raw_request(handle, request)
+        assert raw.startswith(b"HTTP/1.1 400 ")
+
+    def test_oversized_body_413(self, handle):
+        request = (b"POST /v1/solve HTTP/1.1\r\n"
+                   b"Content-Length: 9000000\r\n\r\n")
+        raw = _raw_request(handle, request)
+        assert raw.startswith(b"HTTP/1.1 413 ")
+
+    def test_disconnect_mid_wait_leaves_siblings_ok(self, handle):
+        """A client that vanishes before its solve lands must not
+        break a concurrent client sharing the same batch window."""
+        body = json.dumps({"protocol": "synapse", "n": 16}).encode()
+        request = (b"POST /v1/solve HTTP/1.1\r\n"
+                   b"Content-Type: application/json\r\n"
+                   b"Content-Length: %d\r\n\r\n%s" % (len(body), body))
+        sock = socket.create_connection(
+            (handle.server.host, handle.server.port), timeout=10)
+        sock.sendall(request)
+        sock.close()  # gone before the window elapses
+        status, raw = _post(handle.url, "/v1/solve",
+                            {"protocol": "synapse", "n": 24})
+        assert status == 200
+        assert json.loads(raw)["results"][0]["speedup"] > 0
+
+
+class TestConcurrency:
+    def test_many_concurrent_solves_batch_together(self, handle):
+        results = {}
+
+        def worker(n):
+            status, raw = _post(handle.url, "/v1/solve",
+                                {"protocol": "illinois", "n": n})
+            results[n] = (status, json.loads(raw))
+
+        sizes = list(range(2, 18, 2))
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in sizes]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert all(results[n][0] == 200 for n in sizes)
+        stats = handle.service.coalescer.stats()
+        assert stats["cells"] >= len(sizes)
+        assert stats["batches"] < stats["cells"]
+
+
+class TestParityWithThreadedServer:
+    def test_same_bytes_modulo_operational_fields(self):
+        body = {"protocol": "write-once", "n": [2, 8], "sharing": "1"}
+        async_service = ModelService.with_coalescer(window_ms=5)
+        async_handle = start_async_server(async_service)
+        threaded_service = ModelService()
+        threaded = start_server(threaded_service)
+        thread = threading.Thread(target=threaded.serve_forever, daemon=True)
+        thread.start()
+        try:
+            _, async_raw = _post(async_handle.url, "/v1/solve", body)
+            _, threaded_raw = _post(threaded.url, "/v1/solve", body)
+
+            def normalize(raw):
+                payload = json.loads(raw)
+                payload["summary"].pop("wall_seconds")
+                payload["summary"].pop("mode")
+                return json.dumps(payload, sort_keys=True)
+
+            assert normalize(async_raw) == normalize(threaded_raw)
+        finally:
+            threaded.shutdown()
+            threaded.server_close()
+            thread.join(timeout=5)
+            async_handle.shutdown()
+            async_service.close()
+            threaded_service.close()

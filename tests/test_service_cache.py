@@ -10,6 +10,7 @@ from repro.service.executor import CellTask
 from repro.service.keys import (
     canonical_key,
     canonicalize,
+    prime_task_keys,
     task_key,
     task_key_payload,
 )
@@ -88,6 +89,40 @@ class TestKeyStability:
         """MVA cells are seed-free: sim knobs must not fragment the key."""
         assert (task_key(_task(sim_seed=1)) == task_key(_task(sim_seed=99)))
 
+    def test_primed_keys_match_task_key(self):
+        """``prime_task_keys`` (the one-lookup-per-request fast path)
+        must stamp exactly the key ``task_key`` would compute."""
+        tasks = [_task(n=n) for n in (2, 8, 32, 128)]
+        prime_task_keys(tasks)
+        for task in tasks:
+            assert task.__dict__["_key"] == task_key(_task(n=task.n))
+
+    def test_primed_sim_keys_match_task_key(self):
+        tasks = [_task(method="sim", sim_seed=7, sim_requests=500, n=n)
+                 for n in (2, 8)]
+        prime_task_keys(tasks)
+        for task in tasks:
+            assert task.key == task_key(
+                _task(method="sim", sim_seed=7, sim_requests=500, n=task.n))
+
+    def test_priming_mixed_run_falls_back_per_task(self):
+        """A run whose cells differ in more than ``n`` must still get
+        correct (per-task-path) keys, not the first cell's components."""
+        tasks = [_task(n=4),
+                 _task(n=4, protocol=ProtocolSpec.of(1)),
+                 _task(n=8, sharing_label="1%",
+                       workload=appendix_a_workload(SharingLevel.ONE_PERCENT))]
+        prime_task_keys(tasks)
+        assert tasks[0].key == task_key(_task(n=4))
+        assert tasks[1].key == task_key(_task(n=4, protocol=ProtocolSpec.of(1)))
+        assert tasks[2].key == task_key(_task(
+            n=8, sharing_label="1%",
+            workload=appendix_a_workload(SharingLevel.ONE_PERCENT)))
+        assert len({t.key for t in tasks}) == 3
+
+    def test_priming_empty_run_is_a_noop(self):
+        prime_task_keys([])
+
     def test_fast_path_matches_reference_payload(self):
         """The fragment-assembled ``task_key`` must hash byte-identically
         to ``canonical_key`` over the reference payload; a drift here
@@ -136,6 +171,37 @@ class TestLRU:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             ResultCache(capacity=0)
+
+    def test_put_many_matches_put_loop(self):
+        """One-lock batch insert must leave the cache in exactly the
+        state a ``put`` loop would (the coalescer's flush path)."""
+        items = [(f"k{i}", {"v": i}) for i in range(5)]
+        looped, batched = ResultCache(capacity=3), ResultCache(capacity=3)
+        for key, value in items:
+            looped.put(key, value)
+        batched.put_many(items)
+        for key, _ in items:
+            assert (key in looped) == (key in batched)
+        assert len(looped) == len(batched) == 3
+        assert looped.stats.evictions == batched.stats.evictions == 2
+
+    def test_put_many_overwrites_and_refreshes(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.put_many([("a", {"v": 9}), ("c", {"v": 3})])
+        assert cache.get("a") == {"v": 9}   # overwritten, refreshed
+        assert "c" in cache
+        assert "b" not in cache             # the LRU tail was evicted
+
+    def test_put_many_persists_on_flush(self, tmp_path):
+        path = tmp_path / "cells.json"
+        cache = ResultCache(path=path)
+        cache.put_many([("a", {"v": 1}), ("b", {"v": 2})])
+        cache.flush()
+        reloaded = ResultCache(path=path)
+        assert reloaded.get("a") == {"v": 1}
+        assert reloaded.get("b") == {"v": 2}
 
 
 class TestDiskStore:

@@ -1,0 +1,298 @@
+"""Edge-case tests for the /v1/solve micro-batching coalescer.
+
+Covers the contract corners that only show up under concurrency:
+which trigger flushes a batch (window vs max-batch vs close), poison
+cells failing only their own waiter, identical in-flight requests
+deduplicating onto one solve, a cancelled waiter (client disconnect)
+leaving its batch siblings untouched, and -- the determinism
+non-negotiable -- a coalesced HTTP response carrying byte-identical
+model results to a solo solve, end to end through the socket.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+import repro.service.coalesce as coalesce_module
+from repro.service import ModelService, SolveCoalescer, start_server
+from repro.service.cache import ResultCache
+from repro.service.coalesce import FLUSH_REASONS
+from repro.service.executor import CellTask
+from repro.service.metrics import MetricsRegistry
+from repro.protocols.family import PROTOCOLS
+from repro.workload.parameters import SharingLevel, appendix_a_workload
+
+
+def _task(n, protocol="berkeley"):
+    return CellTask(
+        protocol=PROTOCOLS[protocol],
+        sharing_label="5",
+        workload=appendix_a_workload(SharingLevel.FIVE_PERCENT),
+        n=n)
+
+
+def _poison(monkeypatch, bad_n):
+    """Make the batch engine return an error payload for n == bad_n."""
+    real = coalesce_module.evaluate_mva_batch
+
+    def poisoned(tasks):
+        results = real(tasks)
+        for i, task in enumerate(tasks):
+            if task.n == bad_n:
+                results[i] = {"error": {"type": "RuntimeError",
+                                        "message": "poison cell"},
+                              "attempts": 1, "elapsed_s": 0.0}
+        return results
+
+    monkeypatch.setattr(coalesce_module, "evaluate_mva_batch", poisoned)
+
+
+class TestFlushTriggers:
+    def test_window_flush(self):
+        metrics = MetricsRegistry()
+        coalescer = SolveCoalescer(metrics=metrics, window_ms=20,
+                                   max_batch=64)
+        try:
+            futures, cached = coalescer.submit_all(
+                [_task(2), _task(4), _task(8)])
+            assert cached == [False, False, False]
+            values = [f.result(timeout=10) for f in futures]
+            assert all(v.get("error") is None for v in values)
+            stats = coalescer.stats()
+            assert stats["batches"] == 1
+            assert stats["cells"] == 3
+            assert stats["mean_batch_cells"] == 3.0
+            text = metrics.render()
+            assert ('repro_coalesce_flushes_total{reason="window"} 1'
+                    in text)
+        finally:
+            coalescer.close()
+
+    def test_max_batch_flush_beats_the_window(self):
+        metrics = MetricsRegistry()
+        # A window far longer than the test: only max-batch can flush.
+        coalescer = SolveCoalescer(metrics=metrics, window_ms=60_000,
+                                   max_batch=2)
+        try:
+            futures, _ = coalescer.submit_all([_task(2), _task(4)])
+            started = time.monotonic()
+            for future in futures:
+                future.result(timeout=10)
+            assert time.monotonic() - started < 30  # not the window
+            assert ('repro_coalesce_flushes_total{reason="max-batch"} 1'
+                    in metrics.render())
+        finally:
+            coalescer.close()
+
+    def test_close_flushes_the_queue(self):
+        coalescer = SolveCoalescer(window_ms=60_000, max_batch=64)
+        future, cached = coalescer.submit(_task(4))
+        assert not cached
+        coalescer.close()
+        assert future.result(timeout=1).get("error") is None
+
+    def test_submit_after_close_solves_inline(self):
+        coalescer = SolveCoalescer(window_ms=5, max_batch=64)
+        coalescer.close()
+        future, cached = coalescer.submit(_task(4))
+        assert not cached
+        assert future.result(timeout=0)["cell"]["speedup"] > 0
+
+    def test_reason_labels_are_the_documented_set(self):
+        assert FLUSH_REASONS == ("window", "max-batch", "close")
+
+    def test_rejects_bad_settings(self):
+        with pytest.raises(ValueError):
+            SolveCoalescer(window_ms=0)
+        with pytest.raises(ValueError):
+            SolveCoalescer(max_batch=0)
+
+
+class TestPoisonIsolation:
+    def test_poison_cell_fails_only_its_own_waiter(self, monkeypatch):
+        _poison(monkeypatch, bad_n=4)
+        metrics = MetricsRegistry()
+        coalescer = SolveCoalescer(metrics=metrics, window_ms=20,
+                                   max_batch=64)
+        try:
+            futures, _ = coalescer.submit_all(
+                [_task(2), _task(4), _task(8)])
+            ok_a, bad, ok_b = [f.result(timeout=10) for f in futures]
+            assert ok_a["cell"]["speedup"] > 0
+            assert ok_b["cell"]["speedup"] > 0
+            assert bad["error"]["message"] == "poison cell"
+            # One batch solved all three; the poison did not split it.
+            assert coalescer.stats()["batches"] == 1
+            assert coalescer.stats()["cells"] == 3
+        finally:
+            coalescer.close()
+
+    def test_poison_cell_is_not_cached(self, monkeypatch, tmp_path):
+        _poison(monkeypatch, bad_n=4)
+        cache = ResultCache(path=tmp_path / "cache.json")
+        coalescer = SolveCoalescer(cache=cache, window_ms=20, max_batch=64)
+        try:
+            futures, _ = coalescer.submit_all([_task(2), _task(4)])
+            for future in futures:
+                future.result(timeout=10)
+            assert cache.get(_task(2).key) is not None
+            assert cache.get(_task(4).key) is None
+        finally:
+            coalescer.close()
+
+    def test_wholesale_batch_failure_falls_back_per_cell(self, monkeypatch):
+        def explode(tasks):
+            raise RuntimeError("batch engine down")
+
+        monkeypatch.setattr(coalesce_module, "evaluate_mva_batch", explode)
+        coalescer = SolveCoalescer(window_ms=20, max_batch=64)
+        try:
+            futures, _ = coalescer.submit_all([_task(2), _task(4)])
+            values = [f.result(timeout=10) for f in futures]
+            assert all(v.get("error") is None for v in values)
+            assert all(v["cell"]["speedup"] > 0 for v in values)
+        finally:
+            coalescer.close()
+
+
+class TestDedup:
+    def test_identical_inflight_cells_share_one_solve(self):
+        metrics = MetricsRegistry()
+        coalescer = SolveCoalescer(metrics=metrics, window_ms=50,
+                                   max_batch=64)
+        try:
+            first, cached_first = coalescer.submit(_task(4))
+            second, cached_second = coalescer.submit(_task(4))
+            assert not cached_first and not cached_second
+            a = first.result(timeout=10)
+            b = second.result(timeout=10)
+            assert a == b
+            stats = coalescer.stats()
+            assert stats["cells"] == 1  # one solve fanned to two waiters
+            assert stats["deduped"] == 1
+            assert "repro_coalesce_deduped_total 1" in metrics.render()
+        finally:
+            coalescer.close()
+
+    def test_cache_hit_resolves_without_queueing(self, tmp_path):
+        cache = ResultCache(path=tmp_path / "cache.json")
+        coalescer = SolveCoalescer(cache=cache, window_ms=5, max_batch=64)
+        try:
+            warm, cached = coalescer.submit(_task(4))
+            assert not cached
+            value = warm.result(timeout=10)
+            repeat, cached = coalescer.submit(_task(4))
+            assert cached
+            assert repeat.result(timeout=0) == value
+            assert coalescer.stats()["cells"] == 1
+        finally:
+            coalescer.close()
+
+
+class TestCancellation:
+    def test_cancelled_waiter_leaves_siblings_untouched(self):
+        coalescer = SolveCoalescer(window_ms=100, max_batch=64)
+        try:
+            gone, _ = coalescer.submit(_task(4))
+            stays, _ = coalescer.submit(_task(8))
+            assert gone.cancel()  # "client disconnected" before the flush
+            value = stays.result(timeout=10)
+            assert value["cell"]["speedup"] > 0
+            assert gone.cancelled()
+            # The batch still solved the abandoned cell.
+            assert coalescer.stats()["cells"] == 2
+        finally:
+            coalescer.close()
+
+    def test_cancelled_duplicate_does_not_starve_its_twin(self):
+        coalescer = SolveCoalescer(window_ms=100, max_batch=64)
+        try:
+            gone, _ = coalescer.submit(_task(4))
+            twin, _ = coalescer.submit(_task(4))  # dedup-attached
+            assert gone.cancel()
+            assert twin.result(timeout=10)["cell"]["speedup"] > 0
+        finally:
+            coalescer.close()
+
+
+def _http_solve(url, body):
+    request = urllib.request.Request(
+        url + "/v1/solve", data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=30) as resp:
+        return resp.read()
+
+
+def _normalized(raw):
+    """Strip the two operational summary fields that legitimately
+    differ between a solo and a coalesced solve (wall-clock and
+    dispatch-mode label); everything else must match exactly."""
+    payload = json.loads(raw)
+    payload["summary"].pop("wall_seconds")
+    mode = payload["summary"].pop("mode")
+    return json.dumps(payload, sort_keys=True), mode
+
+
+class TestByteParity:
+    """The determinism acceptance test, end to end through the socket."""
+
+    BODY = {"protocol": "berkeley", "n": [2, 4, 10], "sharing": "5"}
+
+    def _serve(self, service):
+        server = start_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        return server, thread
+
+    def test_coalesced_response_matches_solo(self):
+        solo_service = ModelService()
+        co_service = ModelService.with_coalescer(window_ms=5)
+        solo_server, solo_thread = self._serve(solo_service)
+        co_server, co_thread = self._serve(co_service)
+        try:
+            solo_raw = _http_solve(solo_server.url, self.BODY)
+            co_raw = _http_solve(co_server.url, self.BODY)
+            solo_norm, solo_mode = _normalized(solo_raw)
+            co_norm, co_mode = _normalized(co_raw)
+            assert co_mode == "coalesced"
+            assert solo_mode != "coalesced"
+            assert co_norm == solo_norm
+        finally:
+            for server, thread in ((solo_server, solo_thread),
+                                   (co_server, co_thread)):
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)
+            co_service.close()
+            solo_service.close()
+
+    def test_concurrent_requests_coalesce_into_shared_batches(self):
+        service = ModelService.with_coalescer(window_ms=30)
+        server, thread = self._serve(service)
+        results = {}
+        try:
+            def worker(n):
+                raw = _http_solve(server.url,
+                                  {"protocol": "dragon", "n": n})
+                results[n] = json.loads(raw)["results"][0]["speedup"]
+
+            sizes = [2, 4, 6, 8, 10, 12]
+            threads = [threading.Thread(target=worker, args=(n,))
+                       for n in sizes]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert set(results) == set(sizes)
+            stats = service.coalescer.stats()
+            assert stats["cells"] == len(sizes)
+            # Batching happened: fewer flushes than requests.
+            assert stats["batches"] < len(sizes)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            service.close()

@@ -112,9 +112,12 @@ class TestSweepErrors:
         assert body["error"]["code"] == "unknown-job"
 
     def test_no_legacy_alias(self, server):
+        """/sweep never had an unversioned predecessor: plain 404 (with
+        a hint), not the 410 the retired legacy paths answer."""
         status, _, body = _post(server, "/sweep", _BODY)
         assert status == 404
-        assert "/v1/sweep" in body["error"]
+        assert body["error"]["code"] == "not-found"
+        assert "/v1/sweep" in body["error"]["message"]
 
     def test_unknown_field_rejected(self, server):
         status, _, body = _post(server, "/v1/sweep",

@@ -1,14 +1,12 @@
-"""The versioned /v1 API: unified schema, error envelope, deprecation.
+"""The versioned /v1 API: unified schema, error envelope, retirement.
 
-The legacy unversioned endpoints are covered by
-``test_service_http.py`` (which must keep passing unchanged); this
-module covers what /v1 adds on top:
+The consolidated /v1 routes (including the 410 answers on the retired
+unversioned endpoints) are covered by ``test_service_http.py``; this
+module covers the contract details on top:
 
-* the same four operations under ``/v1/*``;
 * the structured error envelope ``{"error": {code, message, detail}}``;
 * strict request parsing (unknown top-level fields are a 400);
-* ``Deprecation`` + ``Link`` successor headers on every legacy
-  response, and their absence on /v1;
+* the retired legacy endpoints answering 410 ``gone`` everywhere;
 * ``Allow`` headers on 405 responses;
 * the ``engine`` request field and the typed schema module itself.
 """
@@ -76,18 +74,14 @@ class TestV1Routes:
         assert "repro_cells_solved_total" in body.decode()
         assert "Deprecation" not in headers
 
-    def test_solve_matches_legacy_payload(self, server):
+    def test_solve_response_schema(self, server):
         body = {"protocol": "berkeley", "n": [4, 10]}
         status, headers, v1 = _post(server, "/v1/solve", body)
         assert status == 200
         assert "Deprecation" not in headers
-        _, _, legacy = _post(server, "/solve", body)
-        # Same unified schema; the second call is all cache hits, so
-        # align the summary's cache fields before comparing.
-        assert v1["protocol"] == legacy["protocol"]
-        assert [r["speedup"] for r in v1["results"]] == \
-            [r["speedup"] for r in legacy["results"]]
-        assert set(v1) == set(legacy)
+        assert set(v1) == {"protocol", "sharing", "results", "failures",
+                           "summary"}
+        assert [r["n_processors"] for r in v1["results"]] == [4, 10]
 
     def test_grid(self, server):
         status, _, payload = _post(server, "/v1/grid", {
@@ -134,13 +128,6 @@ class TestV1ErrorEnvelope:
         assert error["detail"]["unknown"] == ["shading"]
         assert "sharing" in error["detail"]["allowed"]
 
-    def test_legacy_ignores_unknown_fields(self, server):
-        """The lenient historical behaviour is preserved off /v1."""
-        status, _, payload = _post(server, "/solve", {
-            "protocol": "berkeley", "n": 4, "shading": "5"})
-        assert status == 200
-        assert payload["results"][0]["speedup"] > 0
-
     def test_method_not_allowed_carries_allow_header(self, server):
         status, headers, body = _get(server, "/v1/solve")
         assert status == 405
@@ -151,28 +138,30 @@ class TestV1ErrorEnvelope:
         assert headers["Allow"] == "GET"
 
 
-class TestLegacyDeprecation:
-    def test_legacy_responses_carry_deprecation_headers(self, server):
-        for path, kind in (("/healthz", "get"), ("/metrics", "get")):
-            status, headers, _ = _get(server, path)
-            assert status == 200
-            assert headers["Deprecation"] == "true"
+class TestLegacyRetirement:
+    """The unversioned endpoints shipped Deprecation/Link headers for
+    two release cycles and are now 410 Gone per the documented policy."""
+
+    def test_legacy_get_paths_are_gone_with_successor(self, server):
+        for path in ("/healthz", "/metrics"):
+            status, headers, body = _get(server, path)
+            assert status == 410
+            error = json.loads(body)["error"]
+            assert error["code"] == "gone"
+            assert error["detail"]["successor"] == f"/v1{path}"
             assert f"</v1{path}>" in headers["Link"]
             assert 'rel="successor-version"' in headers["Link"]
 
-    def test_legacy_solve_is_deprecated_but_works(self, server):
-        request = urllib.request.Request(
-            server.url + "/solve",
-            data=json.dumps({"protocol": "berkeley", "n": 4}).encode(),
-            headers={"Content-Type": "application/json"})
-        with urllib.request.urlopen(request, timeout=30) as resp:
-            assert resp.status == 200
-            assert resp.headers["Deprecation"] == "true"
-            assert "</v1/solve>" in resp.headers["Link"]
+    def test_legacy_solve_is_gone_even_with_a_valid_body(self, server):
+        status, _, payload = _post(server, "/solve",
+                                   {"protocol": "berkeley", "n": 4})
+        assert status == 410
+        assert payload["error"]["code"] == "gone"
+        assert payload["error"]["detail"]["successor"] == "/v1/solve"
 
-    def test_404_is_not_marked_deprecated(self, server):
+    def test_plain_404_carries_no_successor_link(self, server):
         _, headers, _ = _get(server, "/nope")
-        assert "Deprecation" not in headers
+        assert "Link" not in headers
 
 
 class TestEngineField:
@@ -339,7 +328,7 @@ class TestVerifyEndpoint:
         status, headers, payload = _post(server, "/verify", {})
         assert status == 404
         assert "Deprecation" not in headers
-        assert "/v1/verify" in payload["error"]
+        assert "/v1/verify" in payload["error"]["message"]
         status, headers, _ = _get(server, "/verify")
         assert status == 404
         status, headers, _ = _get(server, "/v1/verify")
