@@ -47,6 +47,10 @@ _LOG = logging.getLogger(__name__)
 #: Cap on the request line + each header line (anti-abuse, not a spec).
 _MAX_LINE_BYTES = 16 * 1024
 
+#: Cap on headers per request (http.client's default on the threaded
+#: front-end, mirrored here so neither accepts unbounded header memory).
+_MAX_HEADERS = 100
+
 #: Idle keep-alive timeout between requests on one connection.
 _KEEPALIVE_TIMEOUT = 120.0
 
@@ -71,8 +75,12 @@ class AsyncServiceServer:
         self._server: asyncio.base_events.Server | None = None
 
     async def start(self) -> None:
+        # The StreamReader buffer limit backs the per-line cap: readline
+        # raises ValueError at the limit, which the request loop turns
+        # into a 400 instead of the default 64 KiB silent ceiling.
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port)
+            self._handle_connection, self.host, self.port,
+            limit=_MAX_LINE_BYTES)
         self.port = self._server.sockets[0].getsockname()[1]
 
     @property
@@ -99,6 +107,13 @@ class AsyncServiceServer:
                     line = await asyncio.wait_for(
                         reader.readline(), timeout=_KEEPALIVE_TIMEOUT)
                 except asyncio.TimeoutError:
+                    break
+                except (ValueError, asyncio.LimitOverrunError):
+                    # readline hit the StreamReader limit before our
+                    # length check could: answer 400, don't leak an
+                    # unhandled task exception.
+                    await self._write(writer, error_response(
+                        ServiceError(400, "request line too long")), False)
                     break
                 if not line:
                     break  # clean EOF between requests
@@ -149,10 +164,15 @@ class AsyncServiceServer:
                             ) -> dict[str, str] | None:
         headers: dict[str, str] = {}
         while True:
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                return None  # header line over the StreamReader limit
             if line in (b"\r\n", b"\n"):
                 return headers
             if not line or len(line) > _MAX_LINE_BYTES:
+                return None
+            if len(headers) >= _MAX_HEADERS:
                 return None
             name, sep, value = line.decode("latin-1").partition(":")
             if not sep:
@@ -200,6 +220,13 @@ class AsyncServiceServer:
             from repro.service.router import parse_json_body
             payload = parse_json_body(body)
             request, tasks = service.solve_prepare(payload, strict=True)
+            if not service.solve_uses_coalescer(request):
+                # Explicit per-request engine override: the coalescer
+                # always batches, so honour the request on the executor
+                # path (off-loop, like every other blocking route).
+                loop = asyncio.get_running_loop()
+                return Response.json(200, await loop.run_in_executor(
+                    None, lambda: service.solve(payload, strict=True)))
             started = time.perf_counter()
             future, cached_flags = coalescer.submit_request(tasks)
             values = (future.result() if future.done()

@@ -166,7 +166,7 @@ class ModelService:
         batch resolves); the response is identical either way.
         """
         request, tasks = self.solve_prepare(payload, strict=strict)
-        if self.coalescer is None:
+        if not self.solve_uses_coalescer(request):
             result = self._executor(jobs=1, engine=request.engine).run(tasks)
             return self.solve_response(request, result)
         started = time.perf_counter()
@@ -176,6 +176,19 @@ class ModelService:
             wall_seconds=time.perf_counter() - started,
             jobs=1, mode="coalesced")
         return self.solve_response(request, result)
+
+    def solve_uses_coalescer(self, request: SolveRequest) -> bool:
+        """Whether a solve request goes through the coalescer.
+
+        A request that *explicitly* selects an engine bypasses the
+        coalescing queue: coalesced batches are always solved by the
+        batch MVA engine (with the scalar path as fallback), so
+        honouring ``engine="scalar"`` means solving on the executor
+        path instead of silently overriding the request.  Results are
+        byte-identical either way; the field exists precisely so
+        clients can pin the code path.
+        """
+        return self.coalescer is not None and request.engine is None
 
     def solve_prepare(self, payload: Any, strict: bool = False
                       ) -> tuple[SolveRequest, list[CellTask]]:

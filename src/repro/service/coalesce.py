@@ -39,6 +39,7 @@ callback per request when its batch lands, not one per cell.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections.abc import Sequence
@@ -56,6 +57,8 @@ from repro.service.executor import (
     record_solve_metrics_batch,
 )
 from repro.service.metrics import DEFAULT_BATCH_BUCKETS, MetricsRegistry
+
+_LOG = logging.getLogger(__name__)
 
 #: Default hold window before a lone batch flushes (milliseconds).
 DEFAULT_WINDOW_MS = 2.0
@@ -77,18 +80,26 @@ class _Waiter:
     lives at high concurrency.
     """
 
-    __slots__ = ("future", "values", "missing", "unwrap")
+    __slots__ = ("future", "values", "missing", "unwrap", "_lock")
 
     def __init__(self, size: int, unwrap: bool = False):
         self.future: Future = Future()
         self.values: list[dict[str, Any] | None] = [None] * size
         self.missing = size
         self.unwrap = unwrap
+        # The submitting thread (cache hits, post-close solo cells) and
+        # the flusher thread (batch results) may deliver to one waiter
+        # concurrently; the read-modify-write on ``missing`` must not
+        # lose a decrement or the future never resolves.
+        self._lock = threading.Lock()
 
     def deliver(self, slot: int, value: dict[str, Any]) -> None:
-        self.values[slot] = value
-        self.missing -= 1
-        if self.missing == 0 and self.future.set_running_or_notify_cancel():
+        with self._lock:
+            self.values[slot] = value
+            self.missing -= 1
+            if self.missing != 0:
+                return
+        if self.future.set_running_or_notify_cancel():
             self.future.set_result(
                 self.values[0] if self.unwrap else self.values)
 
@@ -187,6 +198,12 @@ class SolveCoalescer:
             else:
                 misses.append((slot, task))
         self._count_lookups(hits=len(resolved), misses=len(misses))
+        # Deliver cache hits before the misses are queued: once a miss
+        # is visible to the flusher it may deliver to this waiter from
+        # its own thread (deliver is lock-protected, but the hit slots
+        # have no reason to contend).
+        for slot, value in resolved:
+            waiter.deliver(slot, value)
         deduped = 0
         solo: list[tuple[int, CellTask]] = []
         with self._lock:
@@ -216,9 +233,8 @@ class SolveCoalescer:
                 "repro_coalesce_deduped_total",
                 "Cells answered by attaching to an identical "
                 "in-flight cell.").inc(deduped)
-        resolved.extend((slot, self._solo(task)) for slot, task in solo)
-        for slot, value in resolved:
-            waiter.deliver(slot, value)
+        for slot, task in solo:
+            waiter.deliver(slot, self._solo(task))
         return waiter.future, cached
 
     def submit(self, task: CellTask) -> tuple[Future, bool]:
@@ -282,7 +298,18 @@ class SolveCoalescer:
                 for entry in batch:
                     self._by_key.pop(entry.task.key, None)
                 self._set_depth(len(self._queue))
-            self._solve(batch, reason)
+            # The flusher is a singleton: an escaped exception here
+            # would strand this batch's waiters AND hang every later
+            # request behind a dead thread.  Per-cell failures are
+            # already error payloads; anything else fails only this
+            # batch and the loop lives on.
+            try:
+                self._solve(batch, reason)
+            except Exception as exc:  # noqa: BLE001 - keep flusher alive
+                _LOG.exception("coalesced batch flush failed; "
+                               "delivering error payloads to %d cells",
+                               len(batch))
+                self._fail_batch(batch, exc)
 
     def _await_trigger(self) -> str:
         """Hold the lock until a flush trigger fires; returns the reason."""
@@ -325,11 +352,37 @@ class SolveCoalescer:
         if solved and self.cache is not None:
             # Cache before fan-out so a client that re-submits the
             # moment its response lands hits the cache, not the queue.
-            self.cache.put_many(
-                (task.key, value) for task, value in solved)
-            self.cache.flush()
+            # A cache-write failure (disk full, bad --cache path) must
+            # not take the values down with it: serve the batch
+            # uncached and keep the flusher alive.
+            try:
+                self.cache.put_many(
+                    (task.key, value) for task, value in solved)
+                self.cache.flush()
+            except OSError:
+                _LOG.exception("result-cache write failed; "
+                               "serving batch uncached")
         for i, entry in enumerate(batch):
             value = values[i]
+            for waiter, slot in entry.waiters:
+                waiter.deliver(slot, value)
+
+    def _fail_batch(self, batch: list[_Pending], exc: Exception) -> None:
+        """Deliver a structured error payload to every waiter of a
+        batch whose flush itself died (the same ``{"error": ...}``
+        shape a dead cell produces, so callers render it as an error
+        row, not a hang)."""
+        for entry in batch:
+            record_failure_metric(self.metrics, entry.task)
+            value: dict[str, Any] = {
+                "error": {
+                    "type": type(exc).__name__,
+                    "message": f"coalesced flush failed: {exc}",
+                    "method": entry.task.method,
+                },
+                "attempts": 1,
+                "elapsed_s": 0.0,
+            }
             for waiter, slot in entry.waiters:
                 waiter.deliver(slot, value)
 
@@ -340,8 +393,12 @@ class SolveCoalescer:
             record_failure_metric(self.metrics, task)
         else:
             if self.cache is not None:
-                self.cache.put(task.key, value)
-                self.cache.flush()
+                try:
+                    self.cache.put(task.key, value)
+                    self.cache.flush()
+                except OSError:
+                    _LOG.exception("result-cache write failed; "
+                                   "serving cell uncached")
             record_solve_metrics(self.metrics, task, value)
         return value
 

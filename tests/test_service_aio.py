@@ -74,6 +74,15 @@ class TestRoutes:
         assert [r["n_processors"] for r in payload["results"]] == [4, 10]
         assert handle.service.coalescer.stats()["cells"] == 2
 
+    def test_explicit_engine_bypasses_coalescer(self, handle):
+        status, body = _post(handle.url, "/v1/solve",
+                             {"protocol": "berkeley", "n": 6,
+                              "engine": "scalar"})
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["summary"]["mode"] != "coalesced"
+        assert handle.service.coalescer.stats()["cells"] == 0
+
     def test_solve_error_envelope(self, handle):
         status, body = _post(handle.url, "/v1/solve", {"n": 4})
         assert status == 400
@@ -129,6 +138,23 @@ class TestTransport:
 
     def test_malformed_request_line_400(self, handle):
         raw = _raw_request(handle, b"NONSENSE\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 400 ")
+
+    def test_oversized_request_line_400(self, handle):
+        raw = _raw_request(
+            handle, b"GET /" + b"a" * 20_000 + b" HTTP/1.1\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 400 ")
+
+    def test_oversized_header_line_400(self, handle):
+        request = (b"GET /v1/healthz HTTP/1.1\r\n"
+                   b"X-Big: " + b"a" * 20_000 + b"\r\n\r\n")
+        raw = _raw_request(handle, request)
+        assert raw.startswith(b"HTTP/1.1 400 ")
+
+    def test_too_many_headers_400(self, handle):
+        headers = b"".join(b"X-H%d: 1\r\n" % i for i in range(150))
+        request = b"GET /v1/healthz HTTP/1.1\r\n" + headers + b"\r\n"
+        raw = _raw_request(handle, request)
         assert raw.startswith(b"HTTP/1.1 400 ")
 
     def test_truncated_body_400(self, handle):

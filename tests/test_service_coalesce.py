@@ -158,6 +158,121 @@ class TestPoisonIsolation:
             coalescer.close()
 
 
+class TestWaiterThreadSafety:
+    def test_concurrent_deliver_never_loses_a_decrement(self):
+        """The submit thread (cache hits) and the flusher (batch
+        results) may deliver to one waiter concurrently; an unguarded
+        ``missing -= 1`` loses decrements and the future never
+        resolves.  Hammer one waiter from two threads and require the
+        fan-in future to land every time."""
+        from repro.service.coalesce import _Waiter
+
+        for _ in range(25):
+            waiter = _Waiter(400)
+            barrier = threading.Barrier(2)
+
+            def hammer(slots, waiter=waiter, barrier=barrier):
+                barrier.wait()
+                for slot in slots:
+                    waiter.deliver(slot, {"slot": slot})
+
+            threads = [threading.Thread(target=hammer,
+                                        args=(range(start, 400, 2),))
+                       for start in (0, 1)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+            values = waiter.future.result(timeout=1)
+            assert len(values) == 400
+            assert all(value is not None for value in values)
+
+    def test_mixed_cached_and_miss_request_resolves(self):
+        """A request whose slots split between immediate cache hits and
+        queued misses exercises both delivery paths on one waiter."""
+        cache = ResultCache()
+        coalescer = SolveCoalescer(cache=cache, window_ms=2, max_batch=64)
+        try:
+            warm, _ = coalescer.submit(_task(2))
+            assert warm.result(timeout=10).get("error") is None
+            for n in range(3, 20):
+                future, cached = coalescer.submit_request(
+                    [_task(2), _task(n)])
+                assert cached == [True, False]
+                values = future.result(timeout=10)
+                assert all(v.get("error") is None for v in values)
+        finally:
+            coalescer.close()
+
+
+class TestFlusherResilience:
+    def test_cache_write_failure_still_serves_the_batch(self, monkeypatch,
+                                                        tmp_path):
+        """An OSError from the cache (disk full, bad --cache path) must
+        not kill the singleton flusher thread or strand the waiters."""
+        cache = ResultCache(path=tmp_path / "cache.json")
+
+        def explode():
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cache, "flush", explode)
+        coalescer = SolveCoalescer(cache=cache, window_ms=5, max_batch=64)
+        try:
+            first, _ = coalescer.submit(_task(4))
+            assert first.result(timeout=10).get("error") is None
+            # The flusher survived: a second batch still solves.
+            second, _ = coalescer.submit(_task(8))
+            assert second.result(timeout=10).get("error") is None
+            assert coalescer.stats()["batches"] == 2
+        finally:
+            coalescer.close()
+
+    def test_flush_crash_fails_waiters_but_not_the_flusher(self,
+                                                           monkeypatch):
+        """An unexpected exception inside a flush delivers error
+        payloads to that batch's waiters (no hang) and leaves the
+        flusher alive for the next batch."""
+        calls = {"n": 0}
+        real = coalesce_module.record_solve_metrics_batch
+
+        def flaky(metrics, solved):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("metrics sink down")
+            real(metrics, solved)
+
+        monkeypatch.setattr(coalesce_module,
+                            "record_solve_metrics_batch", flaky)
+        coalescer = SolveCoalescer(window_ms=5, max_batch=64)
+        try:
+            doomed, _ = coalescer.submit(_task(4))
+            value = doomed.result(timeout=10)
+            assert value["error"]["type"] == "RuntimeError"
+            assert "coalesced flush failed" in value["error"]["message"]
+            healthy, _ = coalescer.submit(_task(8))
+            assert healthy.result(timeout=10).get("error") is None
+        finally:
+            coalescer.close()
+
+
+class TestEngineOverride:
+    def test_explicit_engine_bypasses_the_coalescer(self):
+        """A request that pins ``engine`` must be honoured: coalesced
+        batches always use the batch engine, so the request solves on
+        the executor path instead of being silently overridden."""
+        service = ModelService.with_coalescer(window_ms=5)
+        try:
+            explicit = service.solve({"protocol": "berkeley", "n": 4,
+                                      "engine": "scalar"})
+            assert explicit["summary"]["mode"] != "coalesced"
+            assert service.coalescer.stats()["cells"] == 0
+            default = service.solve({"protocol": "berkeley", "n": 6})
+            assert default["summary"]["mode"] == "coalesced"
+            assert service.coalescer.stats()["cells"] == 1
+        finally:
+            service.close()
+
+
 class TestDedup:
     def test_identical_inflight_cells_share_one_solve(self):
         metrics = MetricsRegistry()
