@@ -88,6 +88,12 @@ class GridSpec:
     include_simulation: bool = False
     sim_requests: int = 40_000
     sim_seed: int = 1234
+    #: DES backend for simulation rows: ``"scalar"`` (single-seed
+    #: reference engine) or ``"vector"`` (``sim_reps`` replications in
+    #: lockstep; ``sim_requests`` is then per replication and the row's
+    #: ``sim_ci`` is the across-replication band).
+    sim_engine: str = "scalar"
+    sim_reps: int = 1
 
     def __post_init__(self) -> None:
         if not self.protocols:
@@ -96,6 +102,13 @@ class GridSpec:
             raise ValueError("at least one system size required")
         if any(n < 1 for n in self.sizes):
             raise ValueError("system sizes must be >= 1")
+        if self.sim_engine not in ("scalar", "vector"):
+            raise ValueError("sim_engine must be 'scalar' or 'vector', "
+                             f"got {self.sim_engine!r}")
+        if self.sim_reps < 1:
+            raise ValueError(f"sim_reps must be >= 1, got {self.sim_reps!r}")
+        if self.sim_engine == "scalar" and self.sim_reps != 1:
+            raise ValueError("sim_reps > 1 requires sim_engine='vector'")
 
 
 def run_grid(spec: GridSpec,

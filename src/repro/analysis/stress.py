@@ -87,6 +87,43 @@ def stress_tasks(sizes: Sequence[int] = DEFAULT_SIZES,
     ]
 
 
+#: Bounds for the opt-in DES spot-check: simulating the full stress
+#: grid would dwarf the MVA sweep, so only tractable sizes are
+#: simulated and only the protocol-family endpoints (the base
+#: Write-Once protocol and the all-modifications corner).
+SIM_SPOT_CHECK_MAX_N = 16
+_SIM_SPOT_CHECK_MODS = (frozenset(), frozenset({1, 2, 3, 4}))
+
+
+def stress_sim_tasks(sizes: Sequence[int] = DEFAULT_SIZES,
+                     corners: Sequence[StressCorner] | None = None,
+                     sim_engine: str = "vector",
+                     sim_reps: int = 8,
+                     sim_requests: int = 2_000,
+                     sim_seed: int = 1234) -> list[CellTask]:
+    """DES spot-check cells riding along the MVA stress grid.
+
+    Every corner keeps the simulator honest on inputs the Appendix-A
+    calibration never sees (zero think time, a pure miss storm), but
+    the grid is bounded: sizes above ``SIM_SPOT_CHECK_MAX_N`` are
+    skipped and only the family-endpoint protocols are simulated, so
+    the opt-in check adds seconds, not minutes.
+    """
+    if corners is None:
+        corners = stress_corners()
+    reps = sim_reps if sim_engine == "vector" else 1
+    return [
+        CellTask(protocol=ProtocolSpec.of(*mods), sharing_label=corner.label,
+                 workload=corner.workload, n=n, method="sim",
+                 sim_requests=sim_requests, sim_seed=sim_seed + n,
+                 sim_engine=sim_engine, sim_reps=reps)
+        for mods in _SIM_SPOT_CHECK_MODS
+        for corner in corners
+        for n in sizes
+        if n <= SIM_SPOT_CHECK_MAX_N
+    ]
+
+
 @dataclass(frozen=True)
 class StressReport:
     """Outcome of one stress sweep."""
@@ -156,15 +193,25 @@ def run_stress(sizes: Sequence[int] = DEFAULT_SIZES,
                corners: Sequence[StressCorner] | None = None,
                protocols: Sequence[ProtocolSpec] | None = None,
                solver: FixedPointSolver | None = None,
-               jobs: int = 1, engine: str = "scalar") -> StressReport:
+               jobs: int = 1, engine: str = "scalar",
+               sim_engine: str | None = None,
+               sim_reps: int = 8) -> StressReport:
     """Sweep the stress grid through a failure-isolating executor.
 
     ``engine`` selects the MVA backend (``"scalar"`` or ``"batch"``);
     the stress grid is all-MVA, so ``"batch"`` solves the whole sweep
-    as one vectorized fixed point.
+    as one vectorized fixed point.  ``sim_engine`` (opt-in, default
+    off) appends the bounded DES spot-check of
+    :func:`stress_sim_tasks` -- ``"vector"`` runs each spot cell as
+    ``sim_reps`` lockstep replications, ``"scalar"`` as one seeded run.
     """
     metrics = MetricsRegistry()
     executor = SweepExecutor(jobs=jobs, metrics=metrics, engine=engine)
-    result = executor.run(stress_tasks(sizes=sizes, corners=corners,
-                                       protocols=protocols, solver=solver))
+    tasks = stress_tasks(sizes=sizes, corners=corners,
+                         protocols=protocols, solver=solver)
+    if sim_engine is not None:
+        tasks.extend(stress_sim_tasks(sizes=sizes, corners=corners,
+                                      sim_engine=sim_engine,
+                                      sim_reps=sim_reps))
+    result = executor.run(tasks)
     return StressReport(result=result, metrics=metrics)

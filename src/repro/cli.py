@@ -107,10 +107,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     protocol = _protocol_from_args(args)
     workload = appendix_a_workload(_SHARING[args.sharing])
+    if args.engine == "scalar" and args.reps != 1:
+        print("error: --reps > 1 requires --engine vector",
+              file=sys.stderr)
+        return 2
     for n in args.n:
         result = simulate(SimulationConfig(
             n_processors=n, workload=workload, protocol=protocol,
-            seed=args.seed, measured_requests=args.requests))
+            seed=args.seed, measured_requests=args.requests),
+            engine=args.engine, reps=args.reps)
         print(result.summary())
     return 0
 
@@ -210,9 +215,15 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     from repro.analysis.grid import GridSpec, to_csv, to_json
     from repro.service import CellFailedError, ResultCache, SweepExecutor
 
-    spec = GridSpec(protocols=_grid_protocols(args), sizes=args.n,
-                    include_simulation=args.simulate,
-                    sim_requests=args.requests)
+    try:
+        spec = GridSpec(protocols=_grid_protocols(args), sizes=args.n,
+                        include_simulation=args.simulate,
+                        sim_requests=args.requests,
+                        sim_engine=args.sim_engine,
+                        sim_reps=args.sim_reps)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     # Everything goes through the service executor; the default
     # (jobs=1, no cache) is byte-identical to the historical serial
     # loop.  Per-cell failures become error rows plus a stderr summary;
@@ -296,9 +307,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                       file=sys.stderr)
                 return 2
         else:
-            spec = GridSpec(protocols=_grid_protocols(args), sizes=args.n,
-                            include_simulation=args.simulate,
-                            sim_requests=args.requests, sim_seed=args.seed)
+            try:
+                spec = GridSpec(protocols=_grid_protocols(args),
+                                sizes=args.n,
+                                include_simulation=args.simulate,
+                                sim_requests=args.requests,
+                                sim_seed=args.seed,
+                                sim_engine=args.sim_engine,
+                                sim_reps=args.sim_reps)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
             tasks = tasks_for_spec(spec)
             job_id = queue.submit(tasks)
         outcome = queue.run(job_id, workers=args.workers,
@@ -350,7 +369,8 @@ def _cmd_stress(args: argparse.Namespace) -> int:
     from repro.analysis.stress import run_stress
 
     report = run_stress(sizes=tuple(args.n), jobs=args.jobs,
-                        engine=args.engine)
+                        engine=args.engine, sim_engine=args.sim_engine,
+                        sim_reps=args.sim_reps)
     print(report.text())
     if not report.isolated:  # pragma: no cover - invariant violation
         print("error: a cell failure leaked outside its row",
@@ -368,7 +388,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         path = write_corpus(golden_path)
         print(f"golden corpus regenerated at {path}")
         return 0
-    report = run_verify(tier=args.tier, golden_path=golden_path)
+    report = run_verify(tier=args.tier, golden_path=golden_path,
+                        sim_engine=args.sim_engine)
     if args.json:
         print(report.to_json())
     else:
@@ -478,6 +499,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("-n", type=int, nargs="+", default=[10])
     p_sim.add_argument("--seed", type=int, default=2024)
     p_sim.add_argument("--requests", type=int, default=50_000)
+    p_sim.add_argument("--engine", choices=["scalar", "vector"],
+                       default="scalar",
+                       help="DES backend: the scalar reference engine "
+                            "(default) or the lockstep multi-replication "
+                            "vector engine")
+    p_sim.add_argument("--reps", type=_positive_int, default=1,
+                       help="replications folded into one aggregate "
+                            "(vector engine; --requests is then per "
+                            "replication)")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_cmp = sub.add_parser("compare", help="MVA vs simulation agreement")
@@ -542,6 +572,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="MVA backend: per-cell scalar solves "
                              "(default) or one vectorized batch for the "
                              "whole sweep")
+    p_grid.add_argument("--sim-engine", choices=["scalar", "vector"],
+                        default="scalar",
+                        help="DES backend for --simulate rows: scalar "
+                             "reference runs (default) or lockstep "
+                             "multi-replication vector runs")
+    p_grid.add_argument("--sim-reps", type=_positive_int, default=1,
+                        help="replications per simulation row (vector "
+                             "engine; --requests is then per "
+                             "replication and sim_ci the across-"
+                             "replication band)")
     p_grid.set_defaults(func=_cmd_grid)
 
     p_sweep = sub.add_parser(
@@ -559,6 +599,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--requests", type=int, default=40_000)
     p_sweep.add_argument("--seed", type=int, default=1234,
                          help="simulation seed base")
+    p_sweep.add_argument("--sim-engine", choices=["scalar", "vector"],
+                         default="scalar",
+                         help="DES backend for --simulate rows (see "
+                              "'grid --sim-engine')")
+    p_sweep.add_argument("--sim-reps", type=_positive_int, default=1,
+                         help="replications per simulation row (vector "
+                              "engine)")
     p_sweep.add_argument("--workers", type=_positive_int, default=1,
                          help="worker processes leasing chunks")
     p_sweep.add_argument("--chunk-size", type=_positive_int,
@@ -597,6 +644,14 @@ def build_parser() -> argparse.ArgumentParser:
                           default="scalar",
                           help="MVA backend: per-cell scalar solves "
                                "(default) or one vectorized batch")
+    p_stress.add_argument("--sim-engine", choices=["scalar", "vector"],
+                          default=None,
+                          help="opt-in DES spot-check: also simulate "
+                               "the family-endpoint protocols on every "
+                               "corner at sizes <= 16 (default: off)")
+    p_stress.add_argument("--sim-reps", type=_positive_int, default=8,
+                          help="replications per DES spot-check cell "
+                               "(vector engine)")
     p_stress.set_defaults(func=_cmd_stress)
 
     p_verify = sub.add_parser(
@@ -621,6 +676,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--golden",
                           help="golden corpus path (default: the "
                                "committed package file)")
+    p_verify.add_argument("--sim-engine",
+                          choices=["auto", "scalar", "vector"],
+                          default="auto",
+                          help="DES backend for the MVA-vs-DES tier: "
+                               "auto (scalar for quick, vector for "
+                               "full), or force one engine")
     p_verify.set_defaults(func=_cmd_verify)
 
     p_serve = sub.add_parser("serve",

@@ -64,7 +64,7 @@ from repro.service.metrics import (
     MetricsRegistry,
 )
 from repro.sim.config import SimulationConfig
-from repro.sim.system import simulate
+from repro.sim.system import SIM_ENGINES, simulate
 from repro.workload.parameters import (
     ArchitectureParams,
     SharingLevel,
@@ -98,12 +98,27 @@ class CellTask:
     sim_requests: int = 40_000
     sim_seed: int = 1234
     solver: FixedPointSolver = field(default_factory=FixedPointSolver)
+    #: DES backend for ``method="sim"`` cells: ``"scalar"`` (the
+    #: single-seed reference engine) or ``"vector"`` (the lockstep
+    #: multi-replication engine; ``sim_requests`` is then *per
+    #: replication* and the cell's CI is the across-replication band).
+    sim_engine: str = "scalar"
+    #: Replication count for ``sim_engine="vector"`` (seeds are
+    #: ``sim_seed + r``); must be 1 on the scalar engine.
+    sim_reps: int = 1
 
     def __post_init__(self) -> None:
         if self.method not in ("mva", "sim"):
             raise ValueError(f"method must be 'mva' or 'sim', got {self.method!r}")
         if self.n < 1:
             raise ValueError(f"n must be >= 1, got {self.n!r}")
+        if self.sim_engine not in SIM_ENGINES:
+            raise ValueError(f"sim_engine must be one of {SIM_ENGINES}, "
+                             f"got {self.sim_engine!r}")
+        if self.sim_reps < 1:
+            raise ValueError(f"sim_reps must be >= 1, got {self.sim_reps!r}")
+        if self.sim_engine == "scalar" and self.sim_reps != 1:
+            raise ValueError("sim_reps > 1 requires sim_engine='vector'")
 
     @property
     def key(self) -> str:
@@ -181,7 +196,9 @@ def tasks_for_spec(spec: GridSpec,
                         protocol=protocol, sharing_label=level.label,
                         workload=workload, n=n, arch=spec.arch,
                         method="sim", sim_requests=spec.sim_requests,
-                        sim_seed=spec.sim_seed + n))
+                        sim_seed=spec.sim_seed + n,
+                        sim_engine=spec.sim_engine,
+                        sim_reps=spec.sim_reps))
     return tasks
 
 
@@ -217,10 +234,15 @@ def evaluate_task(task: CellTask) -> dict[str, Any]:
             "warnings": [w.as_dict() for w in report.warnings],
             "elapsed_s": time.perf_counter() - started,
         }
-    result = simulate(SimulationConfig(
+    sim_config = SimulationConfig(
         n_processors=task.n, workload=task.workload,
         protocol=task.protocol, arch=task.arch,
-        seed=task.sim_seed, measured_requests=task.sim_requests))
+        seed=task.sim_seed, measured_requests=task.sim_requests)
+    if task.sim_engine == "scalar":
+        result = simulate(sim_config)
+    else:
+        result = simulate(sim_config, engine=task.sim_engine,
+                          reps=task.sim_reps)
     cell = GridCell(
         protocol=task.protocol.label,
         sharing=task.sharing_label,
@@ -233,12 +255,16 @@ def evaluate_task(task: CellTask) -> dict[str, Any]:
         method="sim",
         sim_ci=result.speedup_ci_halfwidth,
     )
-    return {
+    value: dict[str, Any] = {
         "cell": cell.as_row(),
         "iterations": None,
         "effective_seed": task.sim_seed,
         "elapsed_s": time.perf_counter() - started,
     }
+    if task.sim_engine != "scalar":
+        value["sim_engine"] = task.sim_engine
+        value["sim_reps"] = task.sim_reps
+    return value
 
 
 def evaluate_mva_batch(tasks: Sequence[CellTask]) -> list[dict[str, Any]]:
@@ -422,7 +448,8 @@ def evaluate_with_retry(task: CellTask, retries: int) -> dict[str, Any]:
                 workload=task.workload, n=task.n, arch=task.arch,
                 method=task.method, sim_requests=task.sim_requests,
                 sim_seed=task.sim_seed + attempt * _RETRY_SEED_STRIDE,
-                solver=task.solver)
+                solver=task.solver, sim_engine=task.sim_engine,
+                sim_reps=task.sim_reps)
         try:
             value = evaluate_task(attempt_task)
         except Exception as exc:  # noqa: BLE001 - isolate failing cells

@@ -106,13 +106,19 @@ def task_key_payload(task: "CellTask") -> dict[str, Any]:
     }
     if task.method == "sim":
         payload["sim"] = {"requests": task.sim_requests, "seed": task.sim_seed}
+        # Non-default engines are keyed explicitly; the scalar default
+        # is omitted so every pre-existing cache entry keeps its key.
+        if task.sim_engine != "scalar" or task.sim_reps != 1:
+            payload["sim"]["engine"] = task.sim_engine
+            payload["sim"]["reps"] = task.sim_reps
     return payload
 
 
 @lru_cache(maxsize=1024)
 def _document_parts(method: str, protocol: Any, arch: Any, solver: Any,
                     workload: Any, sharing_label: str,
-                    sim_requests: int | None, sim_seed: int | None
+                    sim_requests: int | None, sim_seed: int | None,
+                    sim_engine: str = "scalar", sim_reps: int = 1,
                     ) -> tuple[str, str]:
     """The canonical document split around the only per-cell field.
 
@@ -123,7 +129,13 @@ def _document_parts(method: str, protocol: Any, arch: Any, solver: Any,
     SHA-256, which keeps key derivation out of the coalesced request
     hot path.
     """
-    sim = (f',"sim":{{"requests":{json.dumps(sim_requests)},'
+    # Keys sorted as canonical JSON would emit them (engine < reps <
+    # requests < seed); the scalar default omits engine/reps so legacy
+    # keys are unchanged.
+    engine = (f'"engine":{json.dumps(sim_engine)},'
+              f'"reps":{json.dumps(sim_reps)},'
+              if sim_engine != "scalar" or sim_reps != 1 else "")
+    sim = (f',"sim":{{{engine}"requests":{json.dumps(sim_requests)},'
            f'"seed":{json.dumps(sim_seed)}}}'
            if method == "sim" else "")
     protocol_doc = (f'{{"label":{_fragment(protocol.label)},'
@@ -160,16 +172,18 @@ def prime_task_keys(tasks: "Sequence[CellTask]") -> None:
         first.method, first.protocol, first.arch, first.solver,
         first.workload, first.sharing_label,
         first.sim_requests if sim else None,
-        first.sim_seed if sim else None)
+        first.sim_seed if sim else None,
+        first.sim_engine if sim else "scalar",
+        first.sim_reps if sim else 1)
     shared = (first.method, first.protocol, first.arch, first.solver,
               first.workload, first.sharing_label, first.sim_requests,
-              first.sim_seed)
+              first.sim_seed, first.sim_engine, first.sim_reps)
     for task in tasks:
         if "_key" in task.__dict__:
             continue
         if (task.method, task.protocol, task.arch, task.solver,
                 task.workload, task.sharing_label, task.sim_requests,
-                task.sim_seed) != shared:
+                task.sim_seed, task.sim_engine, task.sim_reps) != shared:
             _ = task.key  # mixed run: the general per-task path
             continue
         digest = hashlib.sha256(
@@ -193,6 +207,7 @@ def task_key(task: "CellTask") -> str:
     prefix, suffix = _document_parts(
         task.method, task.protocol, task.arch, task.solver, task.workload,
         task.sharing_label,
-        task.sim_requests if sim else None, task.sim_seed if sim else None)
+        task.sim_requests if sim else None, task.sim_seed if sim else None,
+        task.sim_engine if sim else "scalar", task.sim_reps if sim else 1)
     document = f"{prefix}{task.n}{suffix}"
     return hashlib.sha256(document.encode("utf-8")).hexdigest()

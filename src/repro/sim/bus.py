@@ -72,6 +72,7 @@ class Bus:
 
     @property
     def busy(self) -> bool:
+        """True while a transaction holds the bus."""
         return self._current is not None
 
     @property
@@ -126,6 +127,7 @@ class Bus:
         self.queue_signal.update(now, float(len(self._queue)))
 
     def reset_statistics(self, now: float) -> None:
+        """Zero the utilization and queue accumulators (warm-up reset)."""
         self.utilization_signal.reset(now)
         self.queue_signal.reset(now)
         self.wait_stats = Welford()
@@ -133,7 +135,9 @@ class Bus:
         self.transactions = 0
 
     def utilization(self, now: float) -> float:
+        """Fraction of elapsed time the bus was held."""
         return self.utilization_signal.average(now)
 
     def mean_queue_length(self, now: float) -> float:
+        """Time-averaged FCFS queue length seen by the bus."""
         return self.queue_signal.average(now)

@@ -72,6 +72,7 @@ class CacheController:
         return self._token
 
     def pending_token_valid(self, token: int) -> bool:
+        """True if ``token`` still names the in-flight request."""
         return self._pending is not None and self._pending.token == token
 
     def finish_local_wait(self, now: float) -> None:
@@ -81,5 +82,6 @@ class CacheController:
         self._pending = None
 
     def reset_statistics(self) -> None:
+        """Zero the interference-wait accumulators (warm-up reset)."""
         self.interference_stats = Welford()
         self.snoop_events = 0

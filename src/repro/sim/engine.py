@@ -35,6 +35,7 @@ class EventQueue:
 
     def push(self, time: float, callback: EventCallback,
              priority: int = 0) -> _Event:
+        """Schedule ``event`` at ``time`` (ties break by priority, then FIFO)."""
         if not math.isfinite(time):
             raise ValueError(f"event time must be finite, got {time!r}")
         event = _Event(time=time, priority=priority, seq=self._seq,

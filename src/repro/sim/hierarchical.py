@@ -69,6 +69,7 @@ class HierarchicalSimResult:
     w_global_bus: float
 
     def summary(self) -> str:
+        """One-line digest of the hierarchical run."""
         return (f"hier C={self.params.clusters} K={self.params.per_cluster}: "
                 f"speedup={self.speedup:.3f}±{self.speedup_ci_halfwidth:.3f} "
                 f"U_local={self.u_local_bus:.3f} U_global={self.u_global_bus:.3f}")
@@ -114,9 +115,11 @@ class HierarchicalBusSimulator:
     # -- topology helpers ----------------------------------------------------
 
     def cluster_of(self, proc_id: int) -> int:
+        """Cluster index owning processor ``proc``."""
         return proc_id // self.config.hierarchy.per_cluster
 
     def cluster_peers(self, proc_id: int) -> list[int]:
+        """Processors sharing ``proc``'s local bus (excluding it)."""
         k = self.config.hierarchy.per_cluster
         base = self.cluster_of(proc_id) * k
         return [j for j in range(base, base + k) if j != proc_id]
@@ -124,6 +127,7 @@ class HierarchicalBusSimulator:
     # -- lifecycle -------------------------------------------------------------
 
     def run(self) -> HierarchicalSimResult:
+        """Run warm-up plus measurement and return the statistics."""
         for proc_id in range(self.config.hierarchy.n_processors):
             self._begin_cycle(proc_id)
         self.sim.run()
@@ -161,6 +165,7 @@ class HierarchicalBusSimulator:
 
     def _local_grant_fn(self, bus: Bus):
         def grant(sim: Simulation, request: BusRequest) -> None:
+            """Start the next local-bus transaction if one is queued."""
             self._grant_local(sim, request, bus, grant)
         return grant
 

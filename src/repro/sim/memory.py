@@ -61,9 +61,11 @@ class MemoryBank:
         signal.update(end, 0.0)
 
     def busy_until(self, module: int) -> float:
+        """Cycle at which the addressed module frees up."""
         return self._busy_until[module]
 
     def reset_statistics(self, now: float) -> None:
+        """Zero the busy-time accumulator (warm-up reset)."""
         for signal in self._busy_signals:
             signal.reset(now)
         self.operations = 0

@@ -16,6 +16,7 @@ from repro.sim.stats import Welford
 
 
 class ProcessorState(enum.Enum):
+    """Lifecycle of one processor: executing, waiting, or polling."""
     EXECUTING = "executing"
     WAITING = "waiting"
 
@@ -38,6 +39,7 @@ class Processor:
         self.busy_cycles += burst
 
     def begin_wait(self) -> None:
+        """Record the fire time and enter the waiting state."""
         self.state = ProcessorState.WAITING
 
     def complete_cycle(self, now: float) -> float:
@@ -48,6 +50,7 @@ class Processor:
         return cycle
 
     def reset_statistics(self) -> None:
+        """Zero the per-processor counters (warm-up reset)."""
         self.cycle_stats = Welford()
         self.requests_completed = 0
         self.busy_cycles = 0.0

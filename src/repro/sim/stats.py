@@ -22,6 +22,7 @@ class Welford:
         self._m2 = 0.0
 
     def add(self, value: float) -> None:
+        """Fold one sample into the running mean/variance."""
         self.count += 1
         delta = value - self._mean
         self._mean += delta / self.count
@@ -29,6 +30,7 @@ class Welford:
 
     @property
     def mean(self) -> float:
+        """Running mean (0.0 before the first sample)."""
         return self._mean if self.count else 0.0
 
     @property
@@ -38,6 +40,7 @@ class Welford:
 
     @property
     def stddev(self) -> float:
+        """Running sample standard deviation (ddof=1)."""
         return math.sqrt(self.variance)
 
     def merge(self, other: "Welford") -> "Welford":
@@ -81,6 +84,7 @@ class TimeWeightedAverage:
         self._origin = now
 
     def average(self, now: float) -> float:
+        """Time-weighted mean of the tracked level."""
         elapsed = now - self._origin
         if elapsed <= 0.0:
             return 0.0
@@ -89,6 +93,7 @@ class TimeWeightedAverage:
 
     @property
     def current(self) -> float:
+        """Level as of the last update."""
         return self._value
 
 
@@ -105,17 +110,21 @@ class BatchMeans:
     _values: list[float] = field(default_factory=list)
 
     def add(self, value: float) -> None:
+        """Append one observation to the current batch."""
         self._values.append(value)
 
     @property
     def count(self) -> int:
+        """Observations folded in so far."""
         return len(self._values)
 
     @property
     def mean(self) -> float:
+        """Grand mean over all observations."""
         return sum(self._values) / len(self._values) if self._values else 0.0
 
     def batch_means(self) -> list[float]:
+        """Per-batch means for the completed batches."""
         n = len(self._values)
         if n < self.n_batches:
             return [sum(self._values) / n] if n else []

@@ -21,6 +21,7 @@ interference), not differences in assumed hardware timing.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -66,6 +67,7 @@ class SimulationResult:
     response_by_kind: dict[str, float]
 
     def summary(self) -> str:
+        """One-line digest of the run."""
         return (f"{self.protocol_label} N={self.n_processors} "
                 f"({self.sharing_label} sharing): "
                 f"speedup={self.speedup:.3f}±{self.speedup_ci_halfwidth:.3f} "
@@ -329,6 +331,30 @@ class SnoopingBusSimulator:
         )
 
 
-def simulate(config: SimulationConfig) -> SimulationResult:
-    """Build, run, and collect one simulation."""
-    return SnoopingBusSimulator(config).run()
+#: The DES backends :func:`simulate` can dispatch to.  ``"scalar"`` is
+#: the event-heap reference implementation in this module;
+#: ``"vector"`` is the lockstep multi-replication engine in
+#: :mod:`repro.sim.vector` (statistically equivalent, not bit-equal --
+#: see docs/validation.md).
+SIM_ENGINES = ("scalar", "vector")
+
+
+def simulate(config: SimulationConfig, *, engine: str = "scalar",
+             reps: int = 1,
+             seeds: Sequence[int] | None = None) -> SimulationResult:
+    """Build, run, and collect one simulation.
+
+    ``engine="scalar"`` (default) runs the single-seed reference
+    simulator.  ``engine="vector"`` runs ``reps`` independent
+    replications in lockstep through
+    :class:`repro.sim.vector.VectorSnoopingBusSimulator` and returns
+    the aggregated result (across-replication confidence band); use
+    :func:`repro.sim.vector.simulate_many` directly when the
+    per-replication rows are needed.
+    """
+    if engine == "scalar":
+        return SnoopingBusSimulator(config).run()
+    if engine == "vector":
+        from repro.sim.vector import simulate_many
+        return simulate_many(config, reps=reps, seeds=seeds).aggregate()
+    raise ValueError(f"engine must be one of {SIM_ENGINES}, got {engine!r}")

@@ -59,6 +59,7 @@ class ProtocolCache:
         return self._sets[block % self.n_sets]
 
     def find(self, block: int) -> _Line | None:
+        """Return the resident line for ``tag``, updating LRU order."""
         for line in self._set_of(block):
             if line.block == block:
                 return line
@@ -81,6 +82,7 @@ class ProtocolCache:
         return victim
 
     def drop(self, block: int) -> None:
+        """Evict ``tag`` if resident (invalidate)."""
         lines = self._set_of(block)
         for line in lines:
             if line.block == block:
@@ -127,6 +129,7 @@ class TraceDrivenResult:
     bus_transactions: int
 
     def summary(self) -> str:
+        """One-line digest of the trace-driven run."""
         return (f"trace-driven {self.protocol_label} "
                 f"N={self.n_processors}: speedup={self.speedup:.3f}"
                 f"±{self.speedup_ci_halfwidth:.3f} hit={self.hit_rate:.3f} "
@@ -164,6 +167,7 @@ class TraceDrivenSimulator:
     # -- protocol resolution ---------------------------------------------------
 
     def holders_of(self, block: int, except_cpu: int) -> list[int]:
+        """Caches other than ``requester`` holding ``tag``."""
         return [i for i, cache in enumerate(self.caches)
                 if i != except_cpu and cache.find(block) is not None]
 
@@ -265,6 +269,7 @@ class TraceDrivenSimulator:
     # -- event flow ------------------------------------------------------------
 
     def run(self) -> TraceDrivenResult:
+        """Replay the trace and return the measured statistics."""
         for cpu in range(self.config.generator.n_processors):
             self._begin_cycle(cpu)
         self.sim.run()

@@ -119,6 +119,11 @@ class ResultStore:
             extras["warnings"] = value["warnings"]
         if value.get("retried_after") is not None:
             extras["retried_after"] = value["retried_after"]
+        # Vector-engine provenance rides the sidecar: the numeric
+        # matrix layout stays frozen across engines.
+        if value.get("sim_engine") not in (None, "scalar"):
+            extras["sim_engine"] = value["sim_engine"]
+            extras["sim_reps"] = value.get("sim_reps", 1)
         return extras or None
 
     # -- decoding --------------------------------------------------------
@@ -169,6 +174,9 @@ class ResultStore:
             }
             if "retried_after" in extras:
                 value["retried_after"] = extras["retried_after"]
+            if "sim_engine" in extras:
+                value["sim_engine"] = extras["sim_engine"]
+                value["sim_reps"] = extras.get("sim_reps", 1)
             return value
         return {
             "cell": cell,

@@ -11,8 +11,13 @@ full protocol family and folds the results into one
   golden-corpus diff, and a seeded all-16 MVA-vs-DES pass at reduced
   sample size.
 * **full**: quick, plus deeper protocol model-checking (depth 4),
-  larger DES samples at two system sizes, and the Section-5 stress
-  corners through the failure-isolating executor.
+  larger DES samples at two system sizes (multi-seed through the
+  vector engine: the total sample is split over ``_DES_FULL_REPS``
+  lockstep replications, so the MVA-vs-DES check also carries an
+  across-seed band at a fraction of the scalar engine's wall-clock
+  cost), the scalar-vs-vector DES
+  statistical-equivalence oracle on representative cells, and the
+  Section-5 stress corners through the failure-isolating executor.
 
 Every violation is counted in ``repro_verify_violations_total``
 (labelled by law and severity) when a metrics registry is supplied;
@@ -46,7 +51,22 @@ AUDIT_SIZES: tuple[int, ...] = (1, 2, 10, 100)
 #: DES sample sizes per tier (measured requests / system size).
 _DES_QUICK = (8, 4_000)
 _DES_FULL_SIZES = (4, 16)
-_DES_FULL_REQUESTS = 20_000
+_DES_FULL_REQUESTS = 80_000
+
+#: Replications for the full tier's vector-engine DES cells: the
+#: ``_DES_FULL_REQUESTS`` total sample is split over this many lockstep
+#: replications, buying an across-seed band on top of the point
+#: estimate.  Keep the per-replication window (total / reps) at 5000+
+#: measured requests: shorter windows carry a visible small-sample bias
+#: at saturated sizes (calibrated in docs/validation.md).
+_DES_FULL_REPS = 16
+
+#: Cells put through the scalar-vs-vector statistical-equivalence
+#: oracle in the full tier (protocol modification numbers); the base
+#: protocol plus the all-modifications corner bracket the family.
+_EQUIVALENCE_MODS: tuple[tuple[int, ...], ...] = ((), (1, 2, 3, 4))
+_EQUIVALENCE_REQUESTS = 4_000
+_EQUIVALENCE_REPS = 6
 
 #: Fixed seed for the differential DES runs (results are then
 #: reproducible and cacheable; the determinism tests pin the same one).
@@ -73,10 +93,23 @@ def _record(metrics: MetricsRegistry | None, report: VerifyReport,
 def run_verify(tier: str = "quick",
                metrics: MetricsRegistry | None = None,
                golden_path: Path | str = golden.DEFAULT_CORPUS_PATH,
+               sim_engine: str = "auto",
                ) -> VerifyReport:
-    """Run every checker at the given tier; never raises on violations."""
+    """Run every checker at the given tier; never raises on violations.
+
+    ``sim_engine`` selects the DES backend for the MVA-vs-DES tier:
+    ``"auto"`` (default) keeps the quick tier on the scalar reference
+    engine and runs the full tier's larger samples through the vector
+    engine as ``_DES_FULL_REPS`` lockstep replications; ``"scalar"`` /
+    ``"vector"`` force one backend for either tier.
+    """
     if tier not in TIERS:
         raise ValueError(f"tier must be one of {TIERS}, got {tier!r}")
+    if sim_engine not in ("auto", "scalar", "vector"):
+        raise ValueError("sim_engine must be 'auto', 'scalar' or "
+                         f"'vector', got {sim_engine!r}")
+    if sim_engine == "auto":
+        sim_engine = "vector" if tier == "full" else "scalar"
     started = time.perf_counter()
     report = VerifyReport(tier=tier)
     solver = FixedPointSolver(raise_on_divergence=False)
@@ -147,14 +180,31 @@ def run_verify(tier: str = "quick",
     des_cells: list[tuple[int, int]] = [_DES_QUICK]
     if tier == "full":
         des_cells = [(n, _DES_FULL_REQUESTS) for n in _DES_FULL_SIZES]
+    reps = _DES_FULL_REPS if sim_engine == "vector" else 1
     workload = appendix_a_workload(SharingLevel.FIVE_PERCENT)
     for spec in protocols:
         for n, requests in des_cells:
             task = CellTask(protocol=spec, sharing_label="5%",
                             workload=workload, n=n, method="sim",
-                            sim_requests=requests, sim_seed=DES_SEED + n)
+                            sim_requests=requests // reps,
+                            sim_seed=DES_SEED + n,
+                            sim_engine=sim_engine, sim_reps=reps)
             _record(metrics, report, differential.diff_mva_des(task),
                     "mva-vs-des")
+
+    # -- differential oracle: scalar vs vector DES (full tier) ---------
+    if tier == "full":
+        for mods in _EQUIVALENCE_MODS:
+            spec = next(p for p in protocols
+                        if p.mod_numbers == frozenset(mods))
+            task = CellTask(protocol=spec, sharing_label="5%",
+                            workload=workload, n=4, method="sim",
+                            sim_requests=_EQUIVALENCE_REQUESTS,
+                            sim_seed=DES_SEED)
+            _record(metrics, report,
+                    differential.diff_scalar_vector(
+                        task, reps=_EQUIVALENCE_REPS),
+                    "engine-equivalence")
 
     # -- stress corners (full tier): failure isolation -----------------
     if tier == "full":
